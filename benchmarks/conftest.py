@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs:
+
+* ``REPRO_FULL=1`` — run every Monte Carlo panel / the full size sweeps
+  (the defaults are scaled to finish on one laptop CPU in minutes).
+* ``REPRO_RESULTS_DIR`` — where CSV outputs land (default ``./results``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,65 @@
+"""Extension bench: prediction quality under mixed precision.
+
+The paper's companion works (ExaGeoStat line, refs [12], [13], [41])
+evaluate approximation schemes by the mean squared prediction error
+(MSPE) of kriging at held-out locations.  This bench closes the loop for
+the adaptive framework: fit θ̂ and predict at each accuracy level, then
+check that the tight-accuracy MSPE matches the exact pipeline while the
+loosest level degrades.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, write_csv
+from repro.core.config import MPConfig
+from repro.geostats import Dataset, SyntheticField, fit_mle, krige
+from repro.precision import Precision
+
+
+def test_ext_prediction_quality(once):
+    def run():
+        field = SyntheticField.matern_2d(n=324, range_=0.15, smoothness=0.5, seed=17)
+        full = field.sample()
+        rng = np.random.default_rng(3)
+        idx = rng.permutation(full.n)
+        train = Dataset(full.locations[idx[:260]], full.z[idx[:260]], full.model,
+                        full.theta_true)
+        test_locs = full.locations[idx[260:]]
+        test_z = full.z[idx[260:]]
+
+        rows = []
+        for label in ("exact", 1e-9, 1e-2):
+            if label == "exact":
+                fit = fit_mle(train, exact=True, tile_size=33, max_evals=150, xtol=1e-6)
+                cfg = MPConfig(accuracy=1e-15, formats=(Precision.FP64,), tile_size=33)
+            else:
+                fit = fit_mle(train, accuracy=label, tile_size=33, max_evals=150,
+                              xtol=1e-6)
+                cfg = MPConfig(accuracy=label, tile_size=33)
+            pred = krige(train, test_locs, fit.theta_hat, config=cfg)
+            mspe = float(np.mean((pred.mean - test_z) ** 2))
+            cover = float(np.mean(
+                np.abs(test_z - pred.mean) <= 1.96 * np.maximum(pred.stddev, 1e-12)
+            ))
+            rows.append([str(label), mspe, cover, *fit.theta_hat])
+        return rows, float(np.var(test_z))
+
+    rows, prior_var = once(run)
+    print()
+    print(format_table(
+        ["accuracy", "MSPE", "95% coverage", "σ̂²", "β̂", "ν̂"], rows,
+        title="Extension: kriging MSPE vs required accuracy",
+    ))
+    write_csv("ext_prediction_quality",
+              ["accuracy", "mspe", "coverage", "var", "range", "smooth"], rows)
+
+    by = {r[0]: r for r in rows}
+    # kriging beats the prior variance at every accuracy
+    for r in rows:
+        assert r[1] < prior_var
+    # tight accuracy reproduces the exact pipeline
+    assert by["1e-09"][1] <= by["exact"][1] * 1.1
+    # loose accuracy never *improves* on exact (within noise)
+    assert by["0.01"][1] >= by["exact"][1] * 0.8
+    # coverage stays meaningful
+    assert by["1e-09"][2] > 0.7

@@ -1,0 +1,48 @@
+"""Fig. 2: precision map of kernel execution and data storage.
+
+Rebuilds the small demonstration example: a Matérn covariance whose
+tile-centric rule yields FP64 on the diagonal with precision decaying
+away from it (Fig. 2a), and the storage map collapsing every FP16-class
+tile to FP32 (Fig. 2b).
+"""
+
+from repro.bench import example_precision_maps, write_csv
+from repro.precision import Precision, get_storage_precision
+
+
+def test_fig2_precision_maps(benchmark):
+    maps = benchmark(example_precision_maps)
+    kmap = maps.kernel_map
+    print()
+    print("Fig. 2a — kernel precision map:")
+    print(kmap.render())
+
+    nt = maps.nt
+    # diagonal pinned to FP64
+    for k in range(nt):
+        assert kmap.kernel(k, k) == Precision.FP64
+    # precision must not increase moving away from the diagonal within a
+    # column (monotone norm decay under Morton ordering) — allow equality
+    violations = 0
+    for j in range(nt):
+        for i in range(j + 1, nt - 1):
+            if kmap.kernel(i + 1, j) > kmap.kernel(i, j):
+                violations += 1
+    assert violations <= nt  # jitter may flip isolated pairs, not the trend
+
+    # at least three distinct precisions appear (the figure shows four)
+    fractions = kmap.tile_fractions()
+    assert len(fractions) >= 3, f"degenerate example map: {fractions}"
+
+    # Fig. 2b: storage is FP64 for FP64 tiles, FP32 for everything else
+    for i in range(nt):
+        for j in range(i + 1):
+            expected = (
+                Precision.FP64 if kmap.kernel(i, j) == Precision.FP64 else Precision.FP32
+            )
+            assert kmap.storage(i, j) == expected
+            assert get_storage_precision(kmap.kernel(i, j)) == expected
+
+    rows = [[i, j, kmap.kernel(i, j).name, kmap.storage(i, j).name]
+            for i in range(nt) for j in range(i + 1)]
+    write_csv("fig2_precision_map", ["i", "j", "kernel", "storage"], rows)

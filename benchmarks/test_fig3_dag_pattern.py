@@ -1,0 +1,42 @@
+"""Fig. 3: task/communication pattern of the first Cholesky iterations.
+
+The figure shows, for NT=4, which kernels run per iteration and the
+POTRF→TRSM / TRSM→{GEMM, SYRK} broadcasts.  We unroll the PTG at NT=4 and
+assert the exact task census and dependency pattern the figure depicts.
+"""
+
+from repro.bench import fig3_dag_summary, write_csv
+
+
+def test_fig3_dag_pattern(benchmark):
+    nt = 4
+    summary = benchmark(fig3_dag_summary, nt)
+    print()
+    print("Fig. 3 — task census per iteration:", summary["per_iteration"])
+
+    counts = summary["counts"]
+    assert counts["POTRF"] == nt
+    assert counts["TRSM"] == nt * (nt - 1) // 2
+    assert counts["SYRK"] == nt * (nt - 1) // 2
+    assert counts["GEMM"] == nt * (nt - 1) * (nt - 2) // 6
+    assert summary["n_tasks"] == sum(counts.values())
+
+    # iteration k=0: 1 POTRF, NT-1 TRSMs, NT-1 SYRKs, C(NT-1,2) GEMMs
+    it0 = summary["per_iteration"][0]
+    assert it0 == {
+        "POTRF": 1,
+        "TRSM": nt - 1,
+        "SYRK": nt - 1,
+        "GEMM": (nt - 1) * (nt - 2) // 2,
+    }
+    # the dependency chain POTRF→TRSM→{SYRK,GEMM}→POTRF makes the critical
+    # path 3 tasks per iteration plus the final POTRF
+    assert summary["critical_path_tasks"] == 3 * (nt - 1) + 1
+    write_csv(
+        "fig3_dag_pattern",
+        ["iteration", "POTRF", "TRSM", "SYRK", "GEMM"],
+        [
+            [k, v.get("POTRF", 0), v.get("TRSM", 0), v.get("SYRK", 0), v.get("GEMM", 0)]
+            for k, v in sorted(summary["per_iteration"].items())
+        ],
+    )

@@ -1,0 +1,61 @@
+"""Fig. 4: automated precision conversion — STC instances and the
+communication-precision map.
+
+Runs Algorithm 2 on the Fig. 2 example and checks the properties the
+figure demonstrates: communication precision never exceeds storage
+precision, never falls below what any successor operates at, diagonal
+broadcasts drop to FP32 whenever no TRSM in the column needs FP64, and
+STC appears exactly where communication < storage.
+"""
+
+from repro.bench import example_precision_maps, write_csv
+from repro.core import ConversionStrategy, two_precision_map, build_comm_precision_map
+from repro.precision import Precision
+
+
+def test_fig4_conversion_map(benchmark):
+    maps = benchmark(example_precision_maps)
+    kmap, cmap, nt = maps.kernel_map, maps.comm_map, maps.nt
+    print()
+    print("Fig. 4b — communication precision (lowercase = STC):")
+    print(cmap.render())
+
+    n_stc = 0
+    for i in range(nt):
+        for j in range(i + 1):
+            comm = cmap.comm(i, j)
+            storage = cmap.storage(i, j)
+            assert comm <= storage, f"tile ({i},{j}): comm {comm} above storage {storage}"
+            if cmap.is_stc(i, j):
+                n_stc += 1
+            if i == j and i < nt - 1:
+                needs64 = any(
+                    kmap.kernel(m, i) == Precision.FP64 for m in range(i + 1, nt)
+                )
+                assert comm == (Precision.FP64 if needs64 else Precision.FP32)
+            elif i > j:
+                # no successor may need more than the payload provides
+                # (successor requirement capped at the sender's storage)
+                succ = [kmap.kernel(i, c) for c in range(j + 1, i)]
+                succ += [kmap.kernel(r, i) for r in range(i + 1, nt)]
+                succ.append(kmap.kernel(i, j))
+                assert comm >= min(storage, max(succ))
+    assert n_stc > 0, "the example must exhibit STC instances (Fig. 4a)"
+
+    # extreme configuration: every communication qualifies for STC
+    # ("In this case, all communications can employ the STC strategy.")
+    ext = build_comm_precision_map(two_precision_map(8, Precision.FP16))
+    for i in range(8):
+        for j in range(i + 1):
+            if i == j and i == 7:
+                continue  # last POTRF issues no broadcast
+            assert ext.is_stc(i, j), f"extreme map tile ({i},{j}) should be STC"
+    assert ext.payload(3, 1, ConversionStrategy.TTC) == Precision.FP32
+    assert ext.payload(3, 1, ConversionStrategy.AUTO) == Precision.FP16
+
+    rows = [
+        [i, j, cmap.comm(i, j).name, cmap.storage(i, j).name, cmap.is_stc(i, j)]
+        for i in range(nt)
+        for j in range(i + 1)
+    ]
+    write_csv("fig4_conversion_map", ["i", "j", "comm", "storage", "stc"], rows)

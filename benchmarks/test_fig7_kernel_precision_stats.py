@@ -1,0 +1,42 @@
+"""Fig. 7: kernel precision executed on each tile, per application.
+
+Runs at the *paper's* matrix size (409,600 with 2048 tiles — NT = 200)
+because the sampled-norm pipeline never materialises the matrix.  Shape
+assertions from the paper's text:
+
+* 2D-sqexp is the most cost-effective — ≈46.7 % of tiles in FP16 and
+  ≈29.5 % in FP16_32;
+* 3D-sqexp is the most resource-intensive — over 60 % of tiles in FP64
+  or FP32;
+* 2D-Matérn sits in between.
+"""
+
+from repro.bench import fig7_fraction_rows, format_table, write_csv
+
+_HEADERS = ["application", "FP64 %", "FP32 %", "FP16_32 %", "FP16 %"]
+
+
+def test_fig7_kernel_precision_stats(once):
+    rows = once(fig7_fraction_rows)
+    print()
+    print(format_table(_HEADERS, rows, title="Fig. 7 — tile fractions at n=409,600"))
+    write_csv("fig7_kernel_precision", _HEADERS, rows)
+
+    by_app = {row[0]: row[1:] for row in rows}
+    sq2 = by_app["2D-sqexp"]
+    mat = by_app["2D-Matern"]
+    sq3 = by_app["3D-sqexp"]
+
+    # 2D-sqexp: cheapest — FP16 ≈ 46.7 %, FP16_32 ≈ 29.5 % (paper)
+    assert 30.0 <= sq2[3] <= 65.0, f"2D-sqexp FP16 share {sq2[3]:.1f}%"
+    assert 10.0 <= sq2[2] <= 45.0, f"2D-sqexp FP16_32 share {sq2[2]:.1f}%"
+    # 3D-sqexp: most expensive — >60 % of tiles in FP64 or FP32
+    assert sq3[0] + sq3[1] > 60.0, f"3D-sqexp high-precision share {sq3[0] + sq3[1]:.1f}%"
+    # ordering: low-precision share decreases sqexp2D → Matérn → sqexp3D
+    low2 = sq2[2] + sq2[3]
+    lowm = mat[2] + mat[3]
+    low3 = sq3[2] + sq3[3]
+    assert low2 > lowm > low3, f"low-precision ordering violated: {low2}, {lowm}, {low3}"
+    # every row sums to ~100 %
+    for row in rows:
+        assert abs(sum(row[1:]) - 100.0) < 0.5

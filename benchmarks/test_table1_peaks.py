@@ -1,0 +1,31 @@
+"""Table I: theoretical peak performance of V100/A100/H100 per precision.
+
+Regenerates the paper's Table I from the encoded GPU specifications and
+checks the paper's stated values cell-by-cell (these are the calibration
+anchors of the whole performance model, so they must match exactly).
+"""
+
+from repro.bench import format_table, table1_rows, write_csv
+
+#: (row label, V100, A100, H100) — Tflop/s from the paper's Table I
+_PAPER = {
+    "FP64": (7.8, 19.5, 51.2),
+    "FP32": (15.7, 19.5, 51.2),
+    "TF32 Tensor": (None, 156.0, 378.0),
+    "FP16 Tensor": (125.0, 312.0, 756.0),
+    "BF16 Tensor": (None, 312.0, 756.0),
+}
+
+
+def test_table1_peaks(benchmark):
+    rows = benchmark(table1_rows)
+    print()
+    print(format_table(["Precision", "V100", "A100", "H100"], rows, title="Table I (Tflop/s)"))
+    write_csv("table1_peaks", ["precision", "V100", "A100", "H100"], rows)
+    for row in rows:
+        label, *values = row
+        paper = _PAPER[label]
+        for got, want in zip(values, paper):
+            if want is None:
+                continue  # '-' in the paper (no such unit on that GPU)
+            assert got == want, f"{label}: modeled {got} vs paper {want}"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Explore how the required accuracy shapes the precision maps.
+
+Sweeps ``u_req`` for one application and prints, per level: the kernel
+precision tile fractions (Fig. 7), the share of communications that
+qualify for sender-side conversion (Fig. 4), and the resulting
+mixed-precision storage footprint vs full FP64.
+
+Run:  python examples/precision_map_explorer.py  [app] [n]
+      app ∈ {2d-sqexp, 2d-matern, 3d-sqexp}, default 2d-matern
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench import get_app
+from repro.core import build_comm_precision_map, build_precision_map
+from repro.geostats.locations import generate_locations
+from repro.precision import FORMAT_INFO, Precision, get_storage_precision
+from repro.tiles.norms import sampled_tile_norms
+
+
+def main() -> None:
+    app_key = sys.argv[1] if len(sys.argv) > 1 else "2d-matern"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 65536
+    nb = 2048
+    app = get_app(app_key)
+    nt = -(-n // nb)
+    print(f"{app.label}: n={n}, tile {nb} (NT={nt}), θ={app.theta}\n")
+
+    fp64_bytes = (nt * (nt + 1) // 2) * nb * nb * 8
+
+    # sample the tile norms once; each accuracy level reuses them
+    locs = generate_locations(n, app.model.dim, seed=0)
+    norms = sampled_tile_norms(
+        n, nb, app.model.entry_oracle(locs, app.theta),
+        samples_per_tile=32, rng=np.random.default_rng(1),
+    )
+
+    for u_req in (1e-1, 1e-2, 1e-4, 1e-6, 1e-8, 1e-10):
+        kmap = build_precision_map(norms, u_req)
+        cmap = build_comm_precision_map(kmap)
+
+        fr = kmap.tile_fractions()
+        frac_str = " ".join(
+            f"{p.name}:{fr.get(p, 0.0) * 100:4.1f}%"
+            for p in (Precision.FP64, Precision.FP32, Precision.FP16_32, Precision.FP16)
+        )
+        storage = 0
+        for i in range(nt):
+            for j in range(i + 1):
+                prec = get_storage_precision(kmap.kernel(i, j))
+                storage += nb * nb * FORMAT_INFO[prec].storage_bytes
+        print(
+            f"u_req={u_req:7.0e} | {frac_str} | STC {cmap.stc_fraction() * 100:5.1f}% "
+            f"| storage {storage / fp64_bytes * 100:5.1f}% of FP64"
+        )
+
+    print("\nTighter accuracy → more FP64/FP32 tiles, fewer STC chances, "
+          "bigger footprint.")
+
+
+if __name__ == "__main__":
+    main()

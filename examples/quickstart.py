@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: adaptive mixed-precision MLE on a synthetic Matérn field.
+
+Generates a 2D Gaussian random field with known parameters, then fits the
+maximum likelihood estimate three ways — exact FP64, the adaptive
+framework at the paper's tight accuracy (1e-9), and at a loose 1e-2 —
+and shows the precision maps the framework planned.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MPConfig, MPCholeskySolver
+from repro.geostats import SyntheticField, build_tiled_covariance, fit_mle
+
+
+def main() -> None:
+    # 1. synthesise a rough Matérn field (θ = σ², β, ν)
+    field = SyntheticField.matern_2d(
+        n=400, variance=1.0, range_=0.1, smoothness=0.5, seed=42
+    )
+    dataset = field.sample()
+    print(f"synthetic dataset: n={dataset.n}, θ_true={field.theta}")
+
+    # 2. what does the adaptive framework plan for this covariance?
+    solver = MPCholeskySolver(MPConfig(accuracy=1e-4, tile_size=50))
+    cov = build_tiled_covariance(dataset.locations, dataset.model, field.theta, nb=50)
+    plan = solver.plan(cov)
+    print("\nprecision plan at u_req=1e-4:")
+    print(" ", plan.summary())
+    print(plan.kernel_map.render())
+
+    # 3. fit the MLE at three accuracy levels
+    for label, kwargs in [
+        ("exact FP64", dict(exact=True)),
+        ("u_req=1e-9", dict(accuracy=1e-9)),
+        ("u_req=1e-2", dict(accuracy=1e-2)),
+    ]:
+        result = fit_mle(dataset, tile_size=50, max_evals=200, xtol=1e-7, **kwargs)
+        theta = ", ".join(f"{v:.4f}" for v in result.theta_hat)
+        print(
+            f"\n{label:11}: θ̂ = ({theta})  loglik = {result.loglik:.2f}  "
+            f"({result.n_evals} evaluations)"
+        )
+
+    print("\nExpected: exact and 1e-9 agree closely; 1e-2 drifts (Fig. 5 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""3D geospatial modeling: a soil-moisture-with-depth scenario.
+
+The paper's 3D-sqexp application models fields varying in (x, y, depth).
+This example builds a 3D squared-exponential field (with the measurement
+-error nugget that makes the sqexp kernel numerically factorable — see
+DESIGN.md), fits it at the paper's 3D accuracy (1e-8), and inspects how
+much of the planned computation the adaptive framework keeps in high
+precision — the paper's observation that 3D-sqexp is the most
+resource-intensive of its applications.
+
+Run:  python examples/soil_moisture_3d.py
+"""
+
+from repro import MPConfig, MPCholeskySolver
+from repro.geostats import SyntheticField, build_tiled_covariance, fit_mle
+from repro.precision import Precision
+
+
+def main() -> None:
+    field = SyntheticField.sqexp_3d(
+        n=512, variance=1.0, range_=0.1, seed=11, nugget=0.01
+    )
+    dataset = field.sample()
+    print(f"3D dataset: n={dataset.n} (8×8×8 jittered grid), θ_true={field.theta}")
+
+    # plan at the paper's 3D accuracy and inspect the precision profile
+    config = MPConfig(accuracy=1e-8, tile_size=64)
+    solver = MPCholeskySolver(config)
+    cov = build_tiled_covariance(
+        dataset.locations, dataset.model, field.theta, nb=64, nugget=dataset.nugget
+    )
+    plan = solver.plan(cov)
+    fr = plan.kernel_map.tile_fractions()
+    high = fr.get(Precision.FP64, 0.0) + fr.get(Precision.FP32, 0.0)
+    print(f"\nprecision plan at u_req=1e-8: {plan.summary()}")
+    print(f"high-precision (FP64+FP32) tile share: {high * 100:.1f}%")
+    print(plan.kernel_map.render())
+
+    # factor once through the runtime to see the simulated cost profile
+    factor, report = solver.factorize_via_runtime(cov)
+    print(f"\nsimulated factorization: {report.makespan * 1e3:.2f} ms on one V100, "
+          f"{report.stats.n_tasks} tasks, "
+          f"{report.stats.h2d_bytes / 1e6:.1f} MB host→device")
+
+    # fit the MLE at 1e-8 vs exact
+    exact = fit_mle(dataset, exact=True, tile_size=64, max_evals=200, xtol=1e-7)
+    adaptive = fit_mle(dataset, accuracy=1e-8, tile_size=64, max_evals=200, xtol=1e-7)
+    print(f"\nexact θ̂   : {tuple(round(v, 4) for v in exact.theta_hat)}")
+    print(f"adaptive θ̂: {tuple(round(v, 4) for v in adaptive.theta_hat)}")
+    print("\nExpected: 1e-8 estimates sit on top of the exact ones (Fig. 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Benchmark harness: experiment drivers and reporting for every table/figure."""
+
+from .apps import APPLICATIONS, AppConfig, app_kernel_map, get_app
+from .figures_accuracy import (
+    FIG5_CONFIGS,
+    FIG6_CONFIGS,
+    MCConfig,
+    fig7_fraction_rows,
+    run_fig5_config,
+    run_fig6_config,
+)
+from .figures_micro import (
+    example_precision_maps,
+    fig1_accuracy_rows,
+    fig1_performance_rows,
+    fig3_dag_summary,
+    table1_rows,
+    table2_rows,
+)
+from .figures_perf import (
+    PerfPoint,
+    ablation_band_vs_norm_rows,
+    ablation_scheduler_rows,
+    ablation_tile_size_rows,
+    fig8_configs,
+    fig8_rows,
+    fig9_occupancy_rows,
+    fig10_energy_rows,
+    fig11_rows,
+    fig12_mp_rows,
+    fig12_strong_rows,
+    fig12_weak_rows,
+)
+from .reporting import ascii_series, format_table, write_csv
+
+__all__ = [
+    "APPLICATIONS",
+    "AppConfig",
+    "FIG5_CONFIGS",
+    "FIG6_CONFIGS",
+    "MCConfig",
+    "PerfPoint",
+    "ablation_band_vs_norm_rows",
+    "ablation_scheduler_rows",
+    "ablation_tile_size_rows",
+    "app_kernel_map",
+    "ascii_series",
+    "example_precision_maps",
+    "fig1_accuracy_rows",
+    "fig1_performance_rows",
+    "fig3_dag_summary",
+    "fig7_fraction_rows",
+    "fig8_configs",
+    "fig8_rows",
+    "fig9_occupancy_rows",
+    "fig10_energy_rows",
+    "fig11_rows",
+    "fig12_mp_rows",
+    "fig12_strong_rows",
+    "fig12_weak_rows",
+    "format_table",
+    "get_app",
+    "run_fig5_config",
+    "run_fig6_config",
+    "table1_rows",
+    "table2_rows",
+    "write_csv",
+]

@@ -1,0 +1,149 @@
+"""Experiment drivers for the accuracy studies (Figs. 5, 6, 7).
+
+Figs. 5/6 are Monte Carlo parameter-estimation studies over the paper's
+weak/strong × rough/smooth configurations; Fig. 7 is the kernel-precision
+heatmap of the three applications at full scale (sampled-norm pipeline).
+
+The Monte Carlo defaults are scaled down from the paper's 100 replicas ×
+40,000 locations to keep the harness runnable on one CPU; every knob is
+exposed so a larger machine can push toward paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geostats.covariance import Matern, SquaredExponential
+from ..geostats.generator import SyntheticField
+from ..geostats.montecarlo import MonteCarloStudy, run_monte_carlo
+from .apps import APPLICATIONS, app_kernel_map
+
+__all__ = [
+    "MCConfig",
+    "FIG5_CONFIGS",
+    "FIG6_CONFIGS",
+    "run_fig5_config",
+    "run_fig6_config",
+    "fig7_fraction_rows",
+]
+
+#: nugget used by the sqexp Monte Carlo configurations (the nugget-free
+#: squared exponential is numerically singular in FP64 — see DESIGN.md)
+SQEXP_NUGGET = 0.01
+
+
+@dataclass(frozen=True)
+class MCConfig:
+    """One Monte Carlo panel of Fig. 5/6."""
+
+    key: str
+    model_kind: str  # "sqexp" | "matern"
+    dim: int
+    theta: tuple[float, ...]
+    accuracies: tuple
+    nugget: float = 0.0
+
+    def field(self, n: int, seed: int = 0) -> SyntheticField:
+        if self.model_kind == "sqexp":
+            model = SquaredExponential(dim=self.dim)
+        else:
+            model = Matern(dim=self.dim)
+        return SyntheticField(model, self.theta, n, seed=seed, nugget=self.nugget)
+
+
+#: Fig. 5 panels: 2D-sqexp weak/strong; 2D-Matérn weak/strong × rough/smooth.
+FIG5_CONFIGS: dict[str, MCConfig] = {
+    "sqexp-weak": MCConfig(
+        "sqexp-weak", "sqexp", 2, (1.0, 0.03), (1e-1, 1e-2, 1e-4, "exact"), SQEXP_NUGGET
+    ),
+    "sqexp-strong": MCConfig(
+        "sqexp-strong", "sqexp", 2, (1.0, 0.3), (1e-1, 1e-2, 1e-4, "exact"), SQEXP_NUGGET
+    ),
+    "matern-weak-rough": MCConfig(
+        "matern-weak-rough", "matern", 2, (1.0, 0.03, 0.5), (1e-2, 1e-4, 1e-9, "exact")
+    ),
+    "matern-weak-smooth": MCConfig(
+        "matern-weak-smooth", "matern", 2, (1.0, 0.03, 1.0), (1e-2, 1e-4, 1e-9, "exact")
+    ),
+    "matern-strong-rough": MCConfig(
+        "matern-strong-rough", "matern", 2, (1.0, 0.3, 0.5), (1e-2, 1e-4, 1e-9, "exact")
+    ),
+    "matern-strong-smooth": MCConfig(
+        "matern-strong-smooth", "matern", 2, (1.0, 0.3, 1.0), (1e-2, 1e-4, 1e-9, "exact")
+    ),
+}
+
+#: Fig. 6 panels: 3D-sqexp weak/strong.
+FIG6_CONFIGS: dict[str, MCConfig] = {
+    "sqexp3d-weak": MCConfig(
+        "sqexp3d-weak", "sqexp", 3, (1.0, 0.03), (1e-2, 1e-4, 1e-8, "exact"), SQEXP_NUGGET
+    ),
+    "sqexp3d-strong": MCConfig(
+        "sqexp3d-strong", "sqexp", 3, (1.0, 0.3), (1e-2, 1e-4, 1e-8, "exact"), SQEXP_NUGGET
+    ),
+}
+
+
+def run_fig5_config(
+    key: str,
+    *,
+    n: int = 256,
+    replicas: int = 8,
+    tile_size: int = 32,
+    max_evals: int = 150,
+    seed: int = 0,
+) -> MonteCarloStudy:
+    """Run one Fig. 5 panel at reproduction scale."""
+    cfg = FIG5_CONFIGS[key]
+    field = cfg.field(n, seed=seed)
+    return run_monte_carlo(
+        field, cfg.accuracies, replicas=replicas, tile_size=tile_size, max_evals=max_evals
+    )
+
+
+def run_fig6_config(
+    key: str,
+    *,
+    n: int = 343,
+    replicas: int = 8,
+    tile_size: int = 49,
+    max_evals: int = 150,
+    seed: int = 0,
+) -> MonteCarloStudy:
+    """Run one Fig. 6 panel (3D locations) at reproduction scale."""
+    cfg = FIG6_CONFIGS[key]
+    field = cfg.field(n, seed=seed)
+    return run_monte_carlo(
+        field, cfg.accuracies, replicas=replicas, tile_size=tile_size, max_evals=max_evals
+    )
+
+
+def fig7_fraction_rows(
+    n: int = 409600,
+    nb: int = 2048,
+    *,
+    samples_per_tile: int = 32,
+    seed: int = 0,
+) -> list[list]:
+    """Fig. 7: per-application tile fractions at the paper's matrix size.
+
+    Returns rows ``[app, FP64 %, FP32 %, FP16_32 %, FP16 %]``.
+    """
+    from ..precision.formats import Precision
+
+    rows = []
+    for key in ("2d-sqexp", "2d-matern", "3d-sqexp"):
+        kmap = app_kernel_map(
+            APPLICATIONS[key], n, nb, samples_per_tile=samples_per_tile, seed=seed
+        )
+        fr = kmap.tile_fractions()
+        rows.append(
+            [
+                APPLICATIONS[key].label,
+                100.0 * fr.get(Precision.FP64, 0.0),
+                100.0 * fr.get(Precision.FP32, 0.0),
+                100.0 * fr.get(Precision.FP16_32, 0.0),
+                100.0 * fr.get(Precision.FP16, 0.0),
+            ]
+        )
+    return rows

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``mle``       fit a synthetic dataset at one or more accuracy levels
+``maps``      print the kernel/communication precision maps for an app
+``simulate``  price a mixed-precision Cholesky on a simulated platform
+``bench``     run one experiment driver (table/figure) and print its table
+``info``      show the encoded GPU specifications (Table I)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive mixed-precision Cholesky for geospatial modeling "
+        "(CLUSTER 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mle", help="fit a synthetic dataset")
+    p.add_argument("--model", default="2d-matern",
+                   choices=["2d-matern", "2d-sqexp", "3d-sqexp"])
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--accuracy", type=float, action="append", default=None,
+                   help="u_req level(s); repeatable (default: 1e-9)")
+    p.add_argument("--exact", action="store_true", help="also run the FP64 reference")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nugget", type=float, default=None,
+                   help="measurement-error variance (default: 0.01 for sqexp)")
+
+    p = sub.add_parser("maps", help="print precision maps for an application")
+    p.add_argument("--app", default="2d-matern",
+                   choices=["2d-sqexp", "2d-matern", "3d-sqexp"])
+    p.add_argument("--n", type=int, default=16384)
+    p.add_argument("--nb", type=int, default=2048)
+    p.add_argument("--accuracy", type=float, default=None,
+                   help="override the application's u_req")
+
+    p = sub.add_parser("simulate", help="price a factorization on simulated hardware")
+    p.add_argument("--gpu", default="V100", choices=["V100", "A100", "H100"])
+    p.add_argument("--gpus", type=int, default=1, help="GPUs per node")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--n", type=int, default=32768)
+    p.add_argument("--nb", type=int, default=2048)
+    p.add_argument("--config", default="FP64/FP16",
+                   choices=["FP64", "FP32", "FP64/FP16_32", "FP64/FP16"])
+    p.add_argument("--strategy", default="auto", choices=["auto", "stc", "ttc"])
+
+    p = sub.add_parser("bench", help="run one experiment driver")
+    p.add_argument("target", choices=[
+        "table1", "table2", "fig1", "fig7", "fig8", "fig12",
+    ])
+    p.add_argument("--gpu", default="V100", choices=["V100", "A100", "H100"])
+
+    sub.add_parser("info", help="encoded GPU specifications")
+    return parser
+
+
+def _cmd_mle(args) -> int:
+    from .geostats import SyntheticField, fit_mle
+    from .geostats.covariance import Matern, SquaredExponential
+
+    nugget = args.nugget
+    if args.model == "2d-matern":
+        field = SyntheticField(Matern(dim=2), (1.0, 0.1, 0.5), args.n, args.seed,
+                               nugget or 0.0)
+    elif args.model == "2d-sqexp":
+        field = SyntheticField(SquaredExponential(dim=2), (1.0, 0.1), args.n,
+                               args.seed, 0.01 if nugget is None else nugget)
+    else:
+        field = SyntheticField(SquaredExponential(dim=3), (1.0, 0.1), args.n,
+                               args.seed, 0.01 if nugget is None else nugget)
+    ds = field.sample()
+    print(f"{field.model.name}: n={ds.n}, θ_true={field.theta}, nugget={field.nugget}")
+    levels = args.accuracy or [1e-9]
+    runs = [("exact", dict(exact=True))] if args.exact else []
+    runs += [(f"{a:.0e}", dict(accuracy=a)) for a in levels]
+    for label, kw in runs:
+        res = fit_mle(ds, max_evals=200, xtol=1e-7, **kw)
+        theta = ", ".join(f"{v:.4f}" for v in res.theta_hat)
+        print(f"  {label:>8}: θ̂ = ({theta})  loglik {res.loglik:.2f}  "
+              f"[{res.n_evals} evals]")
+    return 0
+
+
+def _cmd_maps(args) -> int:
+    from .bench.apps import app_kernel_map, get_app
+    from .core import build_comm_precision_map
+
+    app = get_app(args.app)
+    kmap = app_kernel_map(app, args.n, args.nb, samples_per_tile=32)
+    if args.accuracy is not None:
+        from dataclasses import replace
+
+        kmap = app_kernel_map(
+            replace(app, accuracy=args.accuracy), args.n, args.nb, samples_per_tile=32
+        )
+    cmap = build_comm_precision_map(kmap)
+    print(f"{app.label}: n={args.n}, nb={args.nb} (NT={kmap.nt}), "
+          f"u_req={args.accuracy or app.accuracy:g}")
+    fr = kmap.tile_fractions()
+    print("tile fractions:", {p.name: f"{f * 100:.1f}%" for p, f in sorted(fr.items(), reverse=True)})
+    print(f"STC on {cmap.stc_fraction() * 100:.1f}% of communications")
+    if kmap.nt <= 32:
+        print(kmap.render())
+        print(cmap.render())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .core import (
+        ConversionStrategy,
+        simulate_cholesky,
+        two_precision_map,
+        uniform_map,
+    )
+    from .perfmodel import GPU_BY_NAME, NodeSpec
+    from .precision import Precision
+    from .runtime import Platform
+
+    gpu = GPU_BY_NAME[args.gpu]
+    node = NodeSpec("cli", gpu, args.gpus, 256e9, 25e9, 1.5e-6)
+    platform = Platform(node=node, n_nodes=args.nodes)
+    nt = -(-args.n // args.nb)
+    kmap = {
+        "FP64": uniform_map(nt, Precision.FP64),
+        "FP32": uniform_map(nt, Precision.FP32),
+        "FP64/FP16_32": two_precision_map(nt, Precision.FP16_32),
+        "FP64/FP16": two_precision_map(nt, Precision.FP16),
+    }[args.config]
+    strategy = {
+        "auto": ConversionStrategy.AUTO,
+        "stc": ConversionStrategy.STC,
+        "ttc": ConversionStrategy.TTC,
+    }[args.strategy]
+    rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
+                            record_events=False)
+    print(f"{args.config} on {args.nodes}x{args.gpus}x{args.gpu} "
+          f"(n={args.n}, nb={args.nb}, {args.strategy.upper()}):")
+    print(f"  makespan   {rep.makespan:.4f} s")
+    print(f"  throughput {rep.stats.tflops:.1f} Tflop/s")
+    print(f"  h2d        {rep.stats.h2d_bytes / 1e9:.2f} GB")
+    print(f"  conversions {rep.stats.n_conversions} "
+          f"({rep.stats.conversion_seconds * 1e3:.1f} ms)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import (
+        fig1_performance_rows,
+        fig7_fraction_rows,
+        fig8_rows,
+        fig12_mp_rows,
+        format_table,
+        table1_rows,
+        table2_rows,
+    )
+
+    if args.target == "table1":
+        print(format_table(["Precision", "V100", "A100", "H100"], table1_rows(),
+                           title="Table I (Tflop/s)"))
+    elif args.target == "table2":
+        print(format_table(
+            ["operation", "2048", "4096", "6144", "8192", "10240"],
+            table2_rows(), title="Table II (ms, V100)",
+        ))
+    elif args.target == "fig1":
+        rows = fig1_performance_rows(gpus=(args.gpu,))
+        print(format_table(
+            ["gpu", "n", "FP64", "FP32", "TF32", "FP16_32", "BF16_32", "FP16"],
+            rows, title="Fig. 1 (bottom): GEMM Tflop/s",
+        ))
+    elif args.target == "fig7":
+        rows = fig7_fraction_rows(n=65536, samples_per_tile=24)
+        print(format_table(
+            ["application", "FP64 %", "FP32 %", "FP16_32 %", "FP16 %"], rows,
+            title="Fig. 7 tile fractions (n=65,536)",
+        ))
+    elif args.target == "fig8":
+        points = fig8_rows(args.gpu, (16384, 32768))
+        print(format_table(
+            ["config", "gpu", "n", "strategy", "Tflop/s", "s", "H2D GB", "conv"],
+            [p.row() for p in points], title=f"Fig. 8 — {args.gpu}",
+        ))
+    elif args.target == "fig12":
+        rows = fig12_mp_rows((262144,), samples_per_tile=16)
+        print(format_table(["n", "config", "Tflop/s", "speedup"], rows,
+                           title="Fig. 12c — 384 GPUs"))
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from .perfmodel import GPU_BY_NAME
+
+    for name, gpu in GPU_BY_NAME.items():
+        print(f"{name}: TDP {gpu.tdp_watts:.0f} W, {gpu.memory_bytes / 1e9:.0f} GB @ "
+              f"{gpu.memory_bandwidth / 1e9:.0f} GB/s HBM, host link "
+              f"{gpu.host_link_bandwidth / 1e9:.0f} GB/s")
+        for prec, peak in sorted(gpu.peak_flops.items(), reverse=True):
+            print(f"    {prec.name:8} {peak / 1e12:7.1f} Tflop/s "
+                  f"(sustained ×{gpu.sustained_fraction[prec]:.2f})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "mle": _cmd_mle,
+        "maps": _cmd_maps,
+        "simulate": _cmd_simulate,
+        "bench": _cmd_bench,
+        "info": _cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

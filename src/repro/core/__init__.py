@@ -1,0 +1,52 @@
+"""The paper's core contribution: adaptive mixed-precision Cholesky with
+automated precision conversion on (simulated) heterogeneous platforms."""
+
+from .cholesky import CholeskyResult, logdet_from_factor, mp_cholesky, solve_with_factor
+from .config import ConversionStrategy, MPConfig
+from .conversion import (
+    CommPrecisionMap,
+    accumulator_encoding,
+    build_comm_precision_map,
+    input_encoding,
+    needs_conversion,
+    payload_encoding,
+)
+from .dag_cholesky import CholeskyDag, build_cholesky_dag
+from .dtd_cholesky import build_cholesky_dag_dtd
+from .refinement import RefinementResult, refine_solve
+from .precision_map import (
+    KernelPrecisionMap,
+    band_precision_map,
+    build_precision_map,
+    two_precision_map,
+    uniform_map,
+)
+from .solver import FactorizationPlan, MPCholeskySolver, simulate_cholesky
+
+__all__ = [
+    "CholeskyDag",
+    "CholeskyResult",
+    "CommPrecisionMap",
+    "ConversionStrategy",
+    "FactorizationPlan",
+    "KernelPrecisionMap",
+    "MPCholeskySolver",
+    "MPConfig",
+    "RefinementResult",
+    "accumulator_encoding",
+    "band_precision_map",
+    "build_cholesky_dag",
+    "build_cholesky_dag_dtd",
+    "build_comm_precision_map",
+    "build_precision_map",
+    "input_encoding",
+    "logdet_from_factor",
+    "mp_cholesky",
+    "needs_conversion",
+    "payload_encoding",
+    "refine_solve",
+    "simulate_cholesky",
+    "solve_with_factor",
+    "two_precision_map",
+    "uniform_map",
+]

@@ -1,0 +1,165 @@
+"""Adaptive mixed-precision tile Cholesky (Algorithm 1) — numeric path.
+
+This is the sequential numerical reference of the factorization the
+runtime executes as a DAG: identical arithmetic, identical conversion
+semantics, no scheduling.  The Monte Carlo accuracy study (Figs. 5/6)
+runs through this path.
+
+Per iteration ``k`` (Algorithm 1):
+
+* ``DPOTRF(k,k)`` factors the diagonal tile in FP64 and broadcasts the
+  factor at the diagonal's communication precision;
+* ``TRSM(m,k)`` solves each panel tile at its execution precision (FP32
+  floor for FP16-class tiles) against the received diagonal payload and
+  broadcasts the result at the panel tile's communication precision;
+* ``DSYRK(m,k)`` updates the diagonal in FP64 from the received payload;
+* ``GEMM(m,n,k)`` updates trailing tiles in their kernel precision from
+  the received payloads.
+
+The conversion strategy enters as *payload quantisation*: under TTC a
+tile travels at its storage precision; under STC/AUTO it travels at the
+Algorithm 2 communication precision.  Receivers re-quantise to their
+kernel's input format, so STC and TTC are numerically near-identical (the
+paper's "no unnecessary accuracy loss" invariant) while moving different
+byte volumes — the property the tests assert and the simulator prices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..precision.emulate import quantize
+from ..precision.formats import Precision
+from ..tiles import kernels as tk
+from ..tiles.tilematrix import TiledSymmetricMatrix
+from .config import ConversionStrategy
+from .conversion import CommPrecisionMap, build_comm_precision_map
+from .precision_map import KernelPrecisionMap, uniform_map
+
+__all__ = ["CholeskyResult", "mp_cholesky", "logdet_from_factor", "solve_with_factor"]
+
+
+@dataclass
+class CholeskyResult:
+    """Factorization output plus the precision bookkeeping of the run."""
+
+    factor: TiledSymmetricMatrix
+    kernel_map: KernelPrecisionMap
+    comm_map: CommPrecisionMap
+    strategy: ConversionStrategy
+    #: kernel invocation counts per (kind, precision)
+    kernel_counts: dict[tuple[str, Precision], int] = field(default_factory=dict)
+
+    def logdet(self) -> float:
+        return logdet_from_factor(self.factor)
+
+
+def mp_cholesky(
+    mat: TiledSymmetricMatrix,
+    kernel_map: KernelPrecisionMap | None = None,
+    *,
+    strategy: ConversionStrategy = ConversionStrategy.AUTO,
+    comm_map: CommPrecisionMap | None = None,
+    overwrite: bool = False,
+) -> CholeskyResult:
+    """Factor a tiled SPD matrix with adaptive mixed precision.
+
+    ``kernel_map`` defaults to all-FP64 (the exact baseline).  Raises
+    :class:`repro.tiles.kernels.NotPositiveDefiniteError` when a diagonal
+    tile loses positive definiteness (the MLE driver catches this and
+    reports ``-inf`` likelihood).
+    """
+    nt = mat.nt
+    if kernel_map is None:
+        kernel_map = uniform_map(nt, Precision.FP64)
+    if kernel_map.nt != nt:
+        raise ValueError(f"kernel map is {kernel_map.nt}×{kernel_map.nt}, matrix has NT={nt}")
+    if comm_map is None:
+        comm_map = build_comm_precision_map(kernel_map)
+
+    work = mat if overwrite else mat.copy()
+    # generation-phase cast (Section V): every tile rests at the storage
+    # precision implied by its kernel precision before the factorization
+    # starts, regardless of how the caller built the matrix.
+    for i, j in work.lower_indices():
+        work.set(i, j, work.get(i, j), precision=kernel_map.storage(i, j))
+    counts: dict[tuple[str, Precision], int] = {}
+
+    def bump(kind: str, precision: Precision) -> None:
+        key = (kind, precision)
+        counts[key] = counts.get(key, 0) + 1
+
+    for k in range(nt):
+        l_kk = tk.potrf(work.get(k, k))
+        work.set(k, k, np.tril(l_kk), precision=Precision.FP64)
+        bump("POTRF", Precision.FP64)
+
+        if k == nt - 1:
+            break
+
+        # POTRF broadcast payload
+        diag_payload = quantize(np.tril(l_kk), comm_map.payload(k, k, strategy))
+
+        # panel solves
+        for m in range(k + 1, nt):
+            prec = kernel_map.kernel(m, k)
+            solved = tk.trsm(diag_payload, work.get(m, k), precision=prec)
+            work.set(m, k, solved)
+            bump("TRSM", tk.trsm_execution_precision(prec))
+
+        # panel broadcast payloads
+        payloads: dict[int, np.ndarray] = {}
+        for m in range(k + 1, nt):
+            p = comm_map.payload(m, k, strategy)
+            payloads[m] = quantize(work.get(m, k), p)
+
+        # diagonal updates
+        for m in range(k + 1, nt):
+            updated = tk.syrk(payloads[m], work.get(m, m), precision=comm_map.payload(m, k, strategy))
+            work.set(m, m, updated)
+            bump("SYRK", Precision.FP64)
+
+        # trailing updates
+        for m in range(k + 2, nt):
+            for n in range(k + 1, m):
+                prec = kernel_map.kernel(m, n)
+                updated = tk.gemm(payloads[m], payloads[n], work.get(m, n), precision=prec)
+                work.set(m, n, updated)
+                bump("GEMM", prec)
+
+    return CholeskyResult(
+        factor=work,
+        kernel_map=kernel_map,
+        comm_map=comm_map,
+        strategy=strategy,
+        kernel_counts=counts,
+    )
+
+
+def logdet_from_factor(factor: TiledSymmetricMatrix) -> float:
+    """``log |Σ| = 2 Σ_i log L_ii`` from the tiled Cholesky factor."""
+    total = 0.0
+    for t in range(factor.nt):
+        diag = np.diag(factor.get(t, t))
+        if np.any(diag <= 0.0):
+            return -math.inf
+        total += float(np.sum(np.log(diag)))
+    return 2.0 * total
+
+
+def solve_with_factor(factor: TiledSymmetricMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``Σ x = rhs`` given the Cholesky factor ``L`` (FP64 path).
+
+    The triangular solves are O(n²) — negligible next to the O(n³)
+    factorization — so the paper (like ExaGeoStat) runs them in full
+    precision; we materialise the lower factor and use two dense solves.
+    """
+    import scipy.linalg
+
+    rhs = np.asarray(rhs, dtype=np.float64)
+    lower = factor.lower_dense()
+    y = scipy.linalg.solve_triangular(lower, rhs, lower=True)
+    return scipy.linalg.solve_triangular(lower.T, y, lower=False)

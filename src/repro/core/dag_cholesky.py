@@ -1,0 +1,271 @@
+"""The Cholesky PTG: Algorithm 1 expressed as parameterized task classes.
+
+Four task classes — POTRF, TRSM, SYRK, GEMM — unroll into the dataflow
+DAG of the tile Cholesky factorization (Fig. 3 shows its first two
+iterations).  Every dataflow edge carries the payload precision decided
+by the conversion strategy, and tasks that apply sender-side conversion
+(STC) carry the one-time conversion they perform before broadcasting.
+
+Tile versioning: tile (i, j) starts at version 0 (the generated
+covariance tile on the host) and each writing task bumps the version, so
+``(tile, version)`` uniquely names a dataflow value for the simulator's
+caches and the numeric executor.
+
+Ranks follow owner-computes: a task runs on the block-cyclic owner of the
+tile it writes, one rank per GPU (Section VII-A's P×Q grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perfmodel.kernels import KernelKind, kernel_flops
+from ..precision.formats import Precision
+from ..runtime.dsl import TaskClassSpec, TaskInstance, unroll
+from ..runtime.task import TaskGraph, TileRef
+from ..tiles.distribution import ProcessGrid
+from ..tiles.kernels import trsm_execution_precision
+from .config import ConversionStrategy
+from .conversion import CommPrecisionMap, build_comm_precision_map, payload_encoding
+from .precision_map import KernelPrecisionMap
+
+__all__ = ["CholeskyDag", "build_cholesky_dag"]
+
+_KIND_RANK = {
+    KernelKind.POTRF: 0,
+    KernelKind.TRSM: 1,
+    KernelKind.SYRK: 2,
+    KernelKind.GEMM: 3,
+}
+
+
+@dataclass
+class CholeskyDag:
+    """A built Cholesky task graph plus the maps that shaped it."""
+
+    graph: TaskGraph
+    n: int
+    nb: int
+    kernel_map: KernelPrecisionMap
+    comm_map: CommPrecisionMap
+    strategy: ConversionStrategy
+    grid: ProcessGrid
+
+
+def build_cholesky_dag(
+    n: int,
+    nb: int,
+    kernel_map: KernelPrecisionMap,
+    *,
+    strategy: ConversionStrategy = ConversionStrategy.AUTO,
+    grid: ProcessGrid | None = None,
+    comm_map: CommPrecisionMap | None = None,
+) -> CholeskyDag:
+    """Unroll Algorithm 1 into a :class:`~repro.runtime.task.TaskGraph`."""
+    nt = kernel_map.nt
+    expected_nt = -(-n // nb)
+    if nt != expected_nt:
+        raise ValueError(f"kernel map NT={nt} inconsistent with n={n}, nb={nb} (NT={expected_nt})")
+    if grid is None:
+        grid = ProcessGrid(1, 1)
+    if comm_map is None:
+        comm_map = build_comm_precision_map(kernel_map)
+
+    def edge(t: int) -> int:
+        """Edge length of tile row/col ``t`` (ragged last tile)."""
+        return min(n, (t + 1) * nb) - t * nb
+
+    def elements(i: int, j: int) -> int:
+        return edge(i) * edge(j)
+
+    def prio(k: int, kind: str) -> int:
+        return k * 4 + _KIND_RANK[kind]
+
+    def panel_payload(m: int, k: int) -> Precision:
+        return comm_map.payload(m, k, strategy)
+
+    def panel_storage(m: int, k: int) -> Precision:
+        return comm_map.storage(m, k)
+
+    def sender_conv(i: int, j: int) -> tuple[Precision, Precision] | None:
+        """STC conversion performed by the task writing tile (i, j)."""
+        pay = comm_map.payload(i, j, strategy)
+        sto = comm_map.storage(i, j)
+        if payload_encoding(pay) != payload_encoding(sto):
+            return (sto, pay)
+        return None
+
+    # -- task classes ------------------------------------------------------
+    def potrf_space():
+        for k in range(nt):
+            yield (k,)
+
+    def potrf_inst(params):
+        (k,) = params
+        c_prod = None if k == 0 else ("SYRK", (k, k - 1))
+        has_bcast = k < nt - 1
+        return TaskInstance(
+            cls=KernelKind.POTRF,
+            params=params,
+            rank=grid.owner(k, k),
+            precision=Precision.FP64,
+            flops=kernel_flops(KernelKind.POTRF, edge(k)),
+            writes=TileRef(k, k, k + 1),
+            output_precision=Precision.FP64,
+            reads=[
+                (c_prod, TileRef(k, k, k), Precision.FP64, Precision.FP64, elements(k, k), "inout")
+            ],
+            sender_conversion=sender_conv(k, k) if has_bcast else None,
+            priority=prio(k, KernelKind.POTRF),
+        )
+
+    def trsm_space():
+        for k in range(nt - 1):
+            for m in range(k + 1, nt):
+                yield (m, k)
+
+    def trsm_inst(params):
+        m, k = params
+        c_prod = None if k == 0 else ("GEMM", (m, k, k - 1))
+        # after the FP16-resting change above, a panel tile whose kernel
+        # precision is FP16 arrives from its last GEMM in FP16 encoding
+        if k == 0 or kernel_map.kernel(m, k) != Precision.FP16:
+            c_payload = panel_storage(m, k)
+        else:
+            c_payload = Precision.FP16
+        return TaskInstance(
+            cls=KernelKind.TRSM,
+            params=params,
+            rank=grid.owner(m, k),
+            precision=trsm_execution_precision(kernel_map.kernel(m, k)),
+            flops=kernel_flops(KernelKind.TRSM, edge(m)),
+            writes=TileRef(m, k, k + 1),
+            output_precision=panel_storage(m, k),
+            reads=[
+                (
+                    ("POTRF", (k,)),
+                    TileRef(k, k, k + 1),
+                    comm_map.payload(k, k, strategy),
+                    Precision.FP64,
+                    elements(k, k),
+                    "in",
+                ),
+                (
+                    c_prod,
+                    TileRef(m, k, k),
+                    c_payload,
+                    c_payload,
+                    elements(m, k),
+                    "inout",
+                ),
+            ],
+            sender_conversion=sender_conv(m, k),
+            priority=prio(k, KernelKind.TRSM),
+        )
+
+    def syrk_space():
+        for k in range(nt - 1):
+            for m in range(k + 1, nt):
+                yield (m, k)
+
+    def syrk_inst(params):
+        m, k = params
+        c_prod = None if k == 0 else ("SYRK", (m, k - 1))
+        return TaskInstance(
+            cls=KernelKind.SYRK,
+            params=params,
+            rank=grid.owner(m, m),
+            precision=Precision.FP64,
+            flops=kernel_flops(KernelKind.SYRK, edge(m)),
+            writes=TileRef(m, m, k + 1),
+            output_precision=Precision.FP64,
+            reads=[
+                (
+                    ("TRSM", (m, k)),
+                    TileRef(m, k, k + 1),
+                    panel_payload(m, k),
+                    panel_storage(m, k),
+                    elements(m, k),
+                    "in",
+                ),
+                (
+                    c_prod,
+                    TileRef(m, m, k),
+                    Precision.FP64,
+                    Precision.FP64,
+                    elements(m, m),
+                    "inout",
+                ),
+            ],
+            priority=prio(k, KernelKind.SYRK),
+        )
+
+    def gemm_space():
+        for k in range(nt - 2):
+            for m in range(k + 2, nt):
+                for nn in range(k + 1, m):
+                    yield (m, nn, k)
+
+    def gemm_inst(params):
+        m, nn, k = params
+        c_prod = None if k == 0 else ("GEMM", (m, nn, k - 1))
+        prec = kernel_map.kernel(m, nn)
+        # A pure-FP16 GEMM's accumulator is FP16-valued, so the tile rests
+        # in FP16 on the device between consecutive updates; the single
+        # conversion to/from the FP32 at-rest encoding is paid at the
+        # chain's ends (first load, eventual TRSM), not per GEMM.
+        out_prec = Precision.FP16 if prec == Precision.FP16 else comm_map.storage(m, nn)
+        c_payload = comm_map.storage(m, nn) if k == 0 else out_prec
+        return TaskInstance(
+            cls=KernelKind.GEMM,
+            params=params,
+            rank=grid.owner(m, nn),
+            precision=prec,
+            flops=kernel_flops(KernelKind.GEMM, edge(m)),
+            writes=TileRef(m, nn, k + 1),
+            output_precision=out_prec,
+            reads=[
+                (
+                    ("TRSM", (m, k)),
+                    TileRef(m, k, k + 1),
+                    panel_payload(m, k),
+                    panel_storage(m, k),
+                    elements(m, k),
+                    "in",
+                ),
+                (
+                    ("TRSM", (nn, k)),
+                    TileRef(nn, k, k + 1),
+                    panel_payload(nn, k),
+                    panel_storage(nn, k),
+                    elements(nn, k),
+                    "in",
+                ),
+                (
+                    c_prod,
+                    TileRef(m, nn, k),
+                    c_payload,
+                    c_payload,
+                    elements(m, nn),
+                    "inout",
+                ),
+            ],
+            priority=prio(k, KernelKind.GEMM),
+        )
+
+    classes = [
+        TaskClassSpec("POTRF", potrf_space, potrf_inst),
+        TaskClassSpec("TRSM", trsm_space, trsm_inst),
+        TaskClassSpec("SYRK", syrk_space, syrk_inst),
+        TaskClassSpec("GEMM", gemm_space, gemm_inst),
+    ]
+    graph = unroll(classes)
+    return CholeskyDag(
+        graph=graph,
+        n=n,
+        nb=nb,
+        kernel_map=kernel_map,
+        comm_map=comm_map,
+        strategy=strategy,
+        grid=grid,
+    )

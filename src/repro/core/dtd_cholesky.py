@@ -1,0 +1,147 @@
+"""Algorithm 1 expressed through Dynamic Task Discovery.
+
+The same adaptive mixed-precision Cholesky as
+:mod:`repro.core.dag_cholesky`, but written the way a DTD user writes it:
+four nested loops inserting tasks sequentially, with data accesses
+declared per operand and dependencies *inferred* by the runtime.  The
+discovered graph is identical to the PTG's (tested), which is the
+paper's point about PaRSEC's interchangeable DSLs — and also why DTD's
+sequential insertion becomes the scalability bottleneck the paper notes
+("might encounter similar scalability issues as ... other distributed
+task-insertion runtimes").
+"""
+
+from __future__ import annotations
+
+from ..perfmodel.kernels import KernelKind, kernel_flops
+from ..precision.formats import Precision
+from ..runtime.dtd import AccessMode, DataAccess, DTDRuntime
+from ..tiles.distribution import ProcessGrid
+from ..tiles.kernels import trsm_execution_precision
+from .config import ConversionStrategy
+from .conversion import CommPrecisionMap, build_comm_precision_map, payload_encoding
+from .dag_cholesky import CholeskyDag
+from .precision_map import KernelPrecisionMap
+
+__all__ = ["build_cholesky_dag_dtd"]
+
+_KIND_RANK = {KernelKind.POTRF: 0, KernelKind.TRSM: 1, KernelKind.SYRK: 2, KernelKind.GEMM: 3}
+
+
+def build_cholesky_dag_dtd(
+    n: int,
+    nb: int,
+    kernel_map: KernelPrecisionMap,
+    *,
+    strategy: ConversionStrategy = ConversionStrategy.AUTO,
+    grid: ProcessGrid | None = None,
+    comm_map: CommPrecisionMap | None = None,
+) -> CholeskyDag:
+    """Insert Algorithm 1's tasks sequentially and discover the DAG."""
+    nt = kernel_map.nt
+    if nt != -(-n // nb):
+        raise ValueError(f"kernel map NT={nt} inconsistent with n={n}, nb={nb}")
+    if grid is None:
+        grid = ProcessGrid(1, 1)
+    if comm_map is None:
+        comm_map = build_comm_precision_map(kernel_map)
+
+    def edge(t: int) -> int:
+        return min(n, (t + 1) * nb) - t * nb
+
+    def elements(i: int, j: int) -> int:
+        return edge(i) * edge(j)
+
+    def payload(i: int, j: int) -> Precision:
+        return comm_map.payload(i, j, strategy)
+
+    def sender_conv(i: int, j: int):
+        pay, sto = payload(i, j), comm_map.storage(i, j)
+        if payload_encoding(pay) != payload_encoding(sto):
+            return (sto, pay)
+        return None
+
+    def gemm_rest(i: int, j: int) -> Precision:
+        """At-rest encoding of a trailing tile between its GEMM updates."""
+        if kernel_map.kernel(i, j) == Precision.FP16:
+            return Precision.FP16
+        return comm_map.storage(i, j)
+
+    rt = DTDRuntime(default_elements=nb * nb)
+
+    for k in range(nt):
+        rt.insert_task(
+            KernelKind.POTRF,
+            (k,),
+            [DataAccess((k, k), AccessMode.INOUT, Precision.FP64, Precision.FP64,
+                        elements(k, k))],
+            rank=grid.owner(k, k),
+            precision=Precision.FP64,
+            flops=kernel_flops(KernelKind.POTRF, edge(k)),
+            output_precision=Precision.FP64,
+            sender_conversion=sender_conv(k, k) if k < nt - 1 else None,
+            priority=k * 4 + _KIND_RANK[KernelKind.POTRF],
+        )
+        for m in range(k + 1, nt):
+            # panel tile arrives from its last GEMM in its at-rest encoding
+            c_rest = comm_map.storage(m, k) if k == 0 else gemm_rest(m, k)
+            rt.insert_task(
+                KernelKind.TRSM,
+                (m, k),
+                [
+                    DataAccess((k, k), AccessMode.INPUT, payload(k, k),
+                               Precision.FP64, elements(k, k)),
+                    DataAccess((m, k), AccessMode.INOUT, c_rest, c_rest,
+                               elements(m, k)),
+                ],
+                rank=grid.owner(m, k),
+                precision=trsm_execution_precision(kernel_map.kernel(m, k)),
+                flops=kernel_flops(KernelKind.TRSM, edge(m)),
+                output_precision=comm_map.storage(m, k),
+                sender_conversion=sender_conv(m, k),
+                priority=k * 4 + _KIND_RANK[KernelKind.TRSM],
+            )
+        for m in range(k + 1, nt):
+            rt.insert_task(
+                KernelKind.SYRK,
+                (m, k),
+                [
+                    DataAccess((m, k), AccessMode.INPUT, payload(m, k),
+                               comm_map.storage(m, k), elements(m, k)),
+                    DataAccess((m, m), AccessMode.INOUT, Precision.FP64,
+                               Precision.FP64, elements(m, m)),
+                ],
+                rank=grid.owner(m, m),
+                precision=Precision.FP64,
+                flops=kernel_flops(KernelKind.SYRK, edge(m)),
+                output_precision=Precision.FP64,
+                priority=k * 4 + _KIND_RANK[KernelKind.SYRK],
+            )
+        for m in range(k + 2, nt):
+            for nn in range(k + 1, m):
+                prec = kernel_map.kernel(m, nn)
+                rest = gemm_rest(m, nn)
+                c_in_rest = comm_map.storage(m, nn) if k == 0 else rest
+                rt.insert_task(
+                    KernelKind.GEMM,
+                    (m, nn, k),
+                    [
+                        DataAccess((m, k), AccessMode.INPUT, payload(m, k),
+                                   comm_map.storage(m, k), elements(m, k)),
+                        DataAccess((nn, k), AccessMode.INPUT, payload(nn, k),
+                                   comm_map.storage(nn, k), elements(nn, k)),
+                        DataAccess((m, nn), AccessMode.INOUT, c_in_rest, c_in_rest,
+                                   elements(m, nn)),
+                    ],
+                    rank=grid.owner(m, nn),
+                    precision=prec,
+                    flops=kernel_flops(KernelKind.GEMM, edge(m)),
+                    output_precision=rest,
+                    priority=k * 4 + _KIND_RANK[KernelKind.GEMM],
+                )
+
+    graph = rt.finalize()
+    return CholeskyDag(
+        graph=graph, n=n, nb=nb, kernel_map=kernel_map, comm_map=comm_map,
+        strategy=strategy, grid=grid,
+    )

@@ -1,0 +1,183 @@
+"""Covariance functions of the paper's Gaussian-process models (Section III-A).
+
+Two families, exactly as the paper defines them:
+
+* **Squared exponential** (2D/3D-sqexp): ``C(h; θ) = σ² exp(−h²/β)`` with
+  ``θ = (σ², β)``.  Note the paper's parameterisation divides the
+  *squared* distance by β (not β²).
+* **Matérn** (2D-Matérn):
+  ``C(h; θ) = σ² (2^{1−ν}/Γ(ν)) (h/β)^ν K_ν(h/β)`` with
+  ``θ = (σ², β, ν)``; ν=0.5 gives the rough exponential kernel, ν=1 a
+  smoother field.
+
+Each model knows its parameter names, bounds (the paper constrains all
+parameters to [0.01, 2]), and paper-calibrated "weak/strong correlation"
+presets (β = 0.03 / 0.3; ν = 0.5 rough, 1.0 smooth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.special
+
+from .locations import cross_distances, pairwise_distances
+
+__all__ = [
+    "CovarianceModel",
+    "SquaredExponential",
+    "Matern",
+    "MODEL_REGISTRY",
+    "get_model",
+]
+
+#: paper-wide optimisation bounds for every parameter (Section VII-B)
+PARAM_LOWER = 0.01
+PARAM_UPPER = 2.0
+
+
+@dataclass(frozen=True)
+class CovarianceModel:
+    """Base covariance model: stationary, isotropic, zero mean."""
+
+    dim: int
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    @property
+    def n_params(self) -> int:
+        return len(self.param_names)
+
+    def bounds(self) -> list[tuple[float, float]]:
+        """Box bounds for MLE (paper: [0.01, 2] for every parameter)."""
+        return [(PARAM_LOWER, PARAM_UPPER)] * self.n_params
+
+    def validate_theta(self, theta: Sequence[float]) -> np.ndarray:
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (self.n_params,):
+            raise ValueError(
+                f"{self.name} expects θ of length {self.n_params} {self.param_names}, got {theta.shape}"
+            )
+        if np.any(theta <= 0.0):
+            raise ValueError(f"{self.name} parameters must be positive, got {theta}")
+        return theta
+
+    # -- evaluation ---------------------------------------------------------
+    def correlation(self, h: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        """Covariance as a function of distances ``h`` (vectorised)."""
+        raise NotImplementedError
+
+    def cov_matrix(self, locations: np.ndarray, theta: Sequence[float]) -> np.ndarray:
+        """Dense covariance matrix Σ(θ) over one location set."""
+        theta = self.validate_theta(theta)
+        h = pairwise_distances(locations)
+        return self.correlation(h, theta)
+
+    def cross_cov(
+        self, a: np.ndarray, b: np.ndarray, theta: Sequence[float]
+    ) -> np.ndarray:
+        """Cross-covariance between two location sets (kriging)."""
+        theta = self.validate_theta(theta)
+        return self.correlation(cross_distances(a, b), theta)
+
+    def entry_oracle(
+        self, locations: np.ndarray, theta: Sequence[float]
+    ) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+        """Vectorised element oracle ``(rows, cols) → Σ_ij`` for sampled norms."""
+        theta = self.validate_theta(theta)
+        locs = np.asarray(locations, dtype=np.float64)
+
+        def entry(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+            d = locs[np.asarray(rows)] - locs[np.asarray(cols)]
+            h = np.sqrt(np.sum(d * d, axis=-1))
+            return self.correlation(h, theta)
+
+        return entry
+
+
+@dataclass(frozen=True)
+class SquaredExponential(CovarianceModel):
+    """2D/3D squared exponential: ``σ² exp(−h²/β)``, θ = (σ², β)."""
+
+    @property
+    def name(self) -> str:
+        return f"{self.dim}D-sqexp"
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return ("variance", "range")
+
+    def correlation(self, h: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        sigma2, beta = theta
+        h = np.asarray(h, dtype=np.float64)
+        return sigma2 * np.exp(-(h * h) / beta)
+
+    @staticmethod
+    def weak(dim: int = 2) -> tuple["SquaredExponential", tuple[float, float]]:
+        """Paper's weak-correlation preset: θ = (1, 0.03)."""
+        return SquaredExponential(dim=dim), (1.0, 0.03)
+
+    @staticmethod
+    def strong(dim: int = 2) -> tuple["SquaredExponential", tuple[float, float]]:
+        """Paper's strong-correlation preset: θ = (1, 0.3)."""
+        return SquaredExponential(dim=dim), (1.0, 0.3)
+
+
+@dataclass(frozen=True)
+class Matern(CovarianceModel):
+    """2D Matérn: ``σ² (2^{1−ν}/Γ(ν)) (h/β)^ν K_ν(h/β)``, θ = (σ², β, ν)."""
+
+    @property
+    def name(self) -> str:
+        return f"{self.dim}D-Matern"
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return ("variance", "range", "smoothness")
+
+    def correlation(self, h: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        sigma2, beta, nu = theta
+        h = np.asarray(h, dtype=np.float64)
+        scaled = h / beta
+        out = np.empty_like(scaled)
+        zero = scaled <= 0.0
+        out[zero] = sigma2
+        s = scaled[~zero]
+        coeff = sigma2 * (2.0 ** (1.0 - nu)) / scipy.special.gamma(nu)
+        vals = coeff * np.power(s, nu) * scipy.special.kv(nu, s)
+        # K_ν underflows to 0 for huge arguments; the limit is 0, which is
+        # exactly what the covariance should be there.
+        out[~zero] = np.nan_to_num(vals, nan=0.0, posinf=0.0, neginf=0.0)
+        return out
+
+    @staticmethod
+    def preset(
+        correlation: str = "weak", smoothness: str = "rough"
+    ) -> tuple["Matern", tuple[float, float, float]]:
+        """Paper presets: β ∈ {0.03 weak, 0.3 strong}; ν ∈ {0.5 rough, 1 smooth}."""
+        beta = {"weak": 0.03, "strong": 0.3}[correlation]
+        nu = {"rough": 0.5, "smooth": 1.0}[smoothness]
+        return Matern(dim=2), (1.0, beta, nu)
+
+
+MODEL_REGISTRY: dict[str, Callable[[], CovarianceModel]] = {
+    "2d-sqexp": lambda: SquaredExponential(dim=2),
+    "3d-sqexp": lambda: SquaredExponential(dim=3),
+    "2d-matern": lambda: Matern(dim=2),
+}
+
+
+def get_model(name: str) -> CovarianceModel:
+    """Look up a covariance model by its paper name (case-insensitive)."""
+    key = name.strip().lower().replace("_", "-").replace("matérn", "matern")
+    if key not in MODEL_REGISTRY:
+        raise ValueError(f"unknown model {name!r}; expected one of {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key]()

@@ -1,0 +1,124 @@
+"""Maximum likelihood estimation driver (the paper's application layer).
+
+``fit_mle`` is the top-level entry point: it wires the covariance model,
+the mixed-precision likelihood, and the bound-constrained optimizer into
+the MLE loop of Section III-A.  Paper-faithful defaults: every parameter
+bounded to [0.01, 2], the search started from the lower bounds, and an
+optimisation tolerance of 1e-9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import ConversionStrategy, MPConfig
+from ..precision.formats import ADAPTIVE_FORMATS, Precision
+from .generator import Dataset
+from .likelihood import log_likelihood
+from .optimizer import OptimizeResult, maximize_bounded
+
+__all__ = ["MLEResult", "fit_mle", "default_tile_size"]
+
+
+def default_tile_size(n: int) -> int:
+    """Heuristic tile size for laptop-scale problems.
+
+    The paper fixes nb = 2048 on its GPUs; at our Monte Carlo scale
+    (hundreds to thousands of locations) we target ~8 tile rows so the
+    precision map has structure to exploit, clamped to [32, 2048].
+    """
+    return int(min(2048, max(16, -(-n // 8))))
+
+
+@dataclass
+class MLEResult:
+    """Outcome of one MLE fit."""
+
+    theta_hat: tuple[float, ...]
+    loglik: float
+    n_evals: int
+    converged: bool
+    accuracy_label: str
+    model_name: str
+    optimizer: OptimizeResult
+
+    def __iter__(self):
+        return iter(self.theta_hat)
+
+
+def fit_mle(
+    dataset: Dataset,
+    *,
+    accuracy: float = 1e-9,
+    exact: bool = False,
+    tile_size: int | None = None,
+    formats: tuple[Precision, ...] = ADAPTIVE_FORMATS,
+    strategy: ConversionStrategy = ConversionStrategy.AUTO,
+    x0: tuple[float, ...] | None = None,
+    xtol: float = 1e-9,
+    max_evals: int = 600,
+    restarts: int = 2,
+) -> MLEResult:
+    """Fit θ̂ by maximising the mixed-precision log-likelihood.
+
+    ``exact=True`` runs the full-FP64 reference ("exact computation" in
+    Figs. 5/6); otherwise ``accuracy`` is the ``u_req`` of the adaptive
+    framework.  ``x0`` defaults to the paper's lower-bound start.
+
+    After the first Nelder–Mead run the simplex is re-seeded at the
+    incumbent with a smaller radius up to ``restarts`` times while the
+    objective keeps improving — the standard remedy for premature simplex
+    collapse, giving robustness comparable to BOBYQA's trust-region
+    restarts on these 2–3 parameter surfaces.
+    """
+    model = dataset.model
+    nb = tile_size if tile_size is not None else default_tile_size(dataset.n)
+    if exact:
+        config = MPConfig(accuracy=1e-15, formats=(Precision.FP64,), tile_size=nb,
+                          strategy=strategy)
+        label = "exact"
+    else:
+        config = MPConfig(accuracy=accuracy, formats=formats, tile_size=nb, strategy=strategy)
+        label = f"{accuracy:.0e}"
+
+    bounds = model.bounds()
+    if x0 is None:
+        x0 = tuple(lo for lo, _hi in bounds)
+
+    def objective(theta: np.ndarray) -> float:
+        val = log_likelihood(dataset, theta, config).value
+        return val if math.isfinite(val) else -math.inf
+
+    res = maximize_bounded(objective, x0, bounds, xtol=xtol, ftol=xtol, max_evals=max_evals)
+    total_evals = res.n_evals
+    step = 0.05
+    for _ in range(max(0, restarts)):
+        again = maximize_bounded(
+            objective,
+            tuple(res.x),
+            bounds,
+            xtol=xtol,
+            ftol=xtol,
+            max_evals=max_evals,
+            initial_step=step,
+        )
+        total_evals += again.n_evals
+        improved = again.fun > res.fun + abs(res.fun) * 1e-12 + 1e-12
+        if again.fun >= res.fun:
+            res = again
+        if not improved:
+            break
+        step *= 0.5
+    res.n_evals = total_evals
+    return MLEResult(
+        theta_hat=tuple(float(v) for v in res.x),
+        loglik=res.fun,
+        n_evals=total_evals,
+        converged=res.converged,
+        accuracy_label=label,
+        model_name=model.name,
+        optimizer=res,
+    )

@@ -1,0 +1,139 @@
+"""Profile likelihood over the variance parameter.
+
+For the zero-mean Gaussian likelihood, σ² enters Σ(θ) = σ²·R(φ) as a
+scale factor (R is the correlation matrix of the remaining parameters
+φ).  Maximising analytically over σ² gives the closed form
+
+    σ̂²(φ) = zᵀ R(φ)⁻¹ z / n
+
+and the *profile* log-likelihood
+
+    ℓ_p(φ) = −(n/2)·(log 2π + 1 + log σ̂²(φ)) − ½·log|R(φ)|
+
+so the numerical optimisation runs over one fewer dimension — the
+standard trick in large-scale geostatistics software (ExaGeoStat uses
+it for its Matérn fits).  The Cholesky of R runs through the same
+adaptive mixed-precision path as the full likelihood.
+
+Note the nugget caveat: with a fixed *absolute* nugget τ², Σ = σ²R + τ²I
+is no longer a pure scale family, so profiling is exact only for
+nugget-free models; ``fit_mle_profile`` refuses otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cholesky import logdet_from_factor, mp_cholesky, solve_with_factor
+from ..core.config import MPConfig
+from ..core.conversion import build_comm_precision_map
+from ..core.precision_map import build_precision_map
+from ..precision.formats import ADAPTIVE_FORMATS, Precision
+from ..tiles.kernels import NotPositiveDefiniteError
+from ..tiles.norms import tile_norms
+from .generator import Dataset, build_tiled_covariance
+from .mle import MLEResult, default_tile_size
+from .optimizer import maximize_bounded
+
+__all__ = ["profile_log_likelihood", "fit_mle_profile"]
+
+
+@dataclass
+class _ProfileEval:
+    value: float
+    sigma2_hat: float
+
+
+def profile_log_likelihood(
+    dataset: Dataset,
+    phi: tuple[float, ...],
+    config: MPConfig,
+) -> _ProfileEval:
+    """ℓ_p(φ) with σ̂²(φ) maximised analytically.
+
+    ``phi`` is θ without its leading variance entry (the package's models
+    all put σ² first).
+    """
+    if dataset.nugget != 0.0:
+        raise ValueError("profile likelihood requires a nugget-free model")
+    n = dataset.n
+    theta = (1.0, *phi)  # unit-variance correlation matrix R(φ)
+    nb = min(config.tile_size, n)
+    try:
+        corr = build_tiled_covariance(dataset.locations, dataset.model, theta, nb)
+    except (ValueError, FloatingPointError):
+        return _ProfileEval(-math.inf, math.nan)
+    kmap = build_precision_map(tile_norms(corr), config.accuracy, config.formats)
+    try:
+        result = mp_cholesky(
+            corr, kmap, strategy=config.strategy,
+            comm_map=build_comm_precision_map(kmap), overwrite=True,
+        )
+    except NotPositiveDefiniteError:
+        return _ProfileEval(-math.inf, math.nan)
+    logdet_r = logdet_from_factor(result.factor)
+    if not math.isfinite(logdet_r):
+        return _ProfileEval(-math.inf, math.nan)
+    quad = float(dataset.z @ solve_with_factor(result.factor, dataset.z))
+    if not math.isfinite(quad) or quad <= 0.0:
+        return _ProfileEval(-math.inf, math.nan)
+    sigma2 = quad / n
+    value = -0.5 * n * (math.log(2.0 * math.pi) + 1.0 + math.log(sigma2)) - 0.5 * logdet_r
+    return _ProfileEval(value, sigma2)
+
+
+def fit_mle_profile(
+    dataset: Dataset,
+    *,
+    accuracy: float = 1e-9,
+    exact: bool = False,
+    tile_size: int | None = None,
+    formats: tuple[Precision, ...] = ADAPTIVE_FORMATS,
+    xtol: float = 1e-9,
+    max_evals: int = 400,
+) -> MLEResult:
+    """MLE with the variance profiled out (one fewer search dimension).
+
+    Same contract as :func:`repro.geostats.mle.fit_mle`; typically needs
+    ~2–3× fewer likelihood evaluations for the 3-parameter Matérn.  The
+    profiled σ̂² is *not* box-constrained (the paper's [0.01, 2] box is
+    applied to the searched parameters only).
+    """
+    model = dataset.model
+    nb = tile_size if tile_size is not None else default_tile_size(dataset.n)
+    if exact:
+        config = MPConfig(accuracy=1e-15, formats=(Precision.FP64,), tile_size=nb)
+        label = "exact"
+    else:
+        config = MPConfig(accuracy=accuracy, formats=formats, tile_size=nb)
+        label = f"{accuracy:.0e}"
+
+    bounds = model.bounds()[1:]  # drop the variance box
+    if not bounds:
+        raise ValueError("the model has no non-variance parameters to profile over")
+    x0 = tuple(lo for lo, _hi in bounds)
+    best_sigma2: dict[tuple, float] = {}
+
+    def objective(phi: np.ndarray) -> float:
+        ev = profile_log_likelihood(dataset, tuple(phi), config)
+        if math.isfinite(ev.value):
+            best_sigma2[tuple(np.round(phi, 12))] = ev.sigma2_hat
+        return ev.value if math.isfinite(ev.value) else -math.inf
+
+    res = maximize_bounded(objective, x0, bounds, xtol=xtol, ftol=xtol,
+                           max_evals=max_evals)
+    # recover σ̂² at the optimum
+    final = profile_log_likelihood(dataset, tuple(res.x), config)
+    theta_hat = (final.sigma2_hat, *(float(v) for v in res.x))
+    return MLEResult(
+        theta_hat=theta_hat,
+        loglik=final.value,
+        n_evals=res.n_evals + 1,
+        converged=res.converged,
+        accuracy_label=label,
+        model_name=model.name,
+        optimizer=res,
+    )

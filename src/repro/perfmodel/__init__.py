@@ -1,0 +1,82 @@
+"""Calibrated performance, power, and network models for the simulator.
+
+This subpackage replaces the paper's physical testbeds (Summit V100s,
+Guyot A100s, Haxane's H100) with analytical models anchored to the
+numbers the paper itself publishes: Table I peaks, Table II transfer and
+GEMM times, and the Fig. 1 sustained-GEMM curves.  The discrete-event
+runtime (:mod:`repro.runtime`) prices every task and transfer through
+these models, and the energy/occupancy modules post-process the resulting
+timelines into the paper's Fig. 9/10 observables.
+"""
+
+from .calibration import CalibrationReport, calibrate_gpu, fit_gemm_curve, verify_table2
+from .energy import EnergyReport, PowerSample, energy_report, power_trace
+from .gpus import (
+    A100,
+    GPU_BY_NAME,
+    GUYOT_NODE,
+    H100,
+    HAXANE_NODE,
+    SUMMIT,
+    SUMMIT_NODE,
+    V100,
+    ClusterSpec,
+    GPUSpec,
+    NodeSpec,
+)
+from .kernels import (
+    KernelKind,
+    KernelTimeModel,
+    conversion_time,
+    gemm_time,
+    kernel_flops,
+    kernel_time,
+)
+from .network import NetworkModel, broadcast_steps, broadcast_time, message_time
+from .occupancy import (
+    OccupancySample,
+    busy_fraction,
+    mean_occupancy,
+    occupancy_trace,
+)
+from .transfers import TransferModel, d2h_time, h2d_time, host_copy_time, tile_bytes
+
+__all__ = [
+    "A100",
+    "GPU_BY_NAME",
+    "GUYOT_NODE",
+    "H100",
+    "HAXANE_NODE",
+    "SUMMIT",
+    "SUMMIT_NODE",
+    "V100",
+    "CalibrationReport",
+    "ClusterSpec",
+    "EnergyReport",
+    "GPUSpec",
+    "KernelKind",
+    "KernelTimeModel",
+    "NetworkModel",
+    "NodeSpec",
+    "OccupancySample",
+    "PowerSample",
+    "broadcast_steps",
+    "calibrate_gpu",
+    "broadcast_time",
+    "busy_fraction",
+    "conversion_time",
+    "d2h_time",
+    "energy_report",
+    "fit_gemm_curve",
+    "gemm_time",
+    "h2d_time",
+    "host_copy_time",
+    "kernel_flops",
+    "kernel_time",
+    "mean_occupancy",
+    "message_time",
+    "occupancy_trace",
+    "power_trace",
+    "tile_bytes",
+    "verify_table2",
+]

@@ -1,0 +1,117 @@
+"""Calibration utilities for the performance model.
+
+The simulator is only as good as its anchors.  This module (a) verifies
+the shipped model against the paper's Table II programmatically, and
+(b) lets a user **re-calibrate** a :class:`GPUSpec` from their own
+measured GEMM samples — fitting the two free parameters of the
+sustained-rate law ``R(n) = f·P · x²/(1+x²)``, ``x = n/n_half`` by
+least squares — so the reproduction can be re-anchored to real hardware
+when it is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..precision.formats import Precision
+from .gpus import GPUSpec, V100
+from .kernels import gemm_time
+from .transfers import h2d_time
+
+__all__ = ["CalibrationReport", "verify_table2", "fit_gemm_curve", "calibrate_gpu"]
+
+#: the paper's Table II (ms) — the shipped model's ground truth
+TABLE2_MS = {
+    ("move", Precision.FP64): (0.67, 2.68, 6.04, 10.74, 16.78),
+    ("move", Precision.FP32): (0.34, 1.34, 3.02, 5.37, 8.39),
+    ("move", Precision.FP16): (0.17, 0.67, 1.51, 2.68, 4.19),
+    ("gemm", Precision.FP64): (2.2, 17.62, 59.47, 140.96, 275.32),
+    ("gemm", Precision.FP32): (1.09, 8.75, 29.54, 70.03, 136.78),
+    ("gemm", Precision.FP16): (0.14, 1.1, 3.71, 8.8, 17.18),
+}
+TABLE2_SIZES = (2048, 4096, 6144, 8192, 10240)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Per-cell relative errors of the model vs a reference table."""
+
+    max_rel_error: float
+    mean_rel_error: float
+    worst_cell: tuple[str, str, int]
+
+    @property
+    def ok(self) -> bool:
+        return self.max_rel_error < 0.15
+
+
+def verify_table2(gpu: GPUSpec = V100) -> CalibrationReport:
+    """Compare the shipped model against the paper's Table II."""
+    worst = ("", "", 0)
+    errs = []
+    max_err = 0.0
+    for (kind, prec), refs in TABLE2_MS.items():
+        for n, ref in zip(TABLE2_SIZES, refs):
+            if kind == "move":
+                got = h2d_time(gpu, n, prec) * 1e3
+            else:
+                got = gemm_time(gpu, n, prec) * 1e3
+            rel = abs(got - ref) / ref
+            errs.append(rel)
+            if rel > max_err:
+                max_err = rel
+                worst = (kind, prec.name, n)
+    return CalibrationReport(
+        max_rel_error=max_err, mean_rel_error=float(np.mean(errs)), worst_cell=worst
+    )
+
+
+def fit_gemm_curve(
+    sizes: Sequence[int],
+    tflops: Sequence[float],
+    peak_tflops: float,
+) -> tuple[float, int]:
+    """Fit (sustained_fraction, half_perf_size) to measured GEMM rates.
+
+    Grid-searches ``n_half`` (the law is nonlinear in it) with the
+    optimal ``f`` computed in closed form per candidate — robust for the
+    handful of sample points a microbenchmark produces.
+    """
+    sizes_a = np.asarray(sizes, dtype=np.float64)
+    rates = np.asarray(tflops, dtype=np.float64)
+    if sizes_a.size != rates.size or sizes_a.size < 2:
+        raise ValueError("need at least two (size, rate) samples")
+    if np.any(rates <= 0) or np.any(sizes_a <= 0):
+        raise ValueError("sizes and rates must be positive")
+    best = (np.inf, 0.5, 256)
+    for n_half in range(32, 4097, 16):
+        x = sizes_a / n_half
+        g = x * x / (1.0 + x * x)  # shape function
+        denom = float(np.dot(g, g))
+        if denom == 0.0:
+            continue
+        f = float(np.dot(g, rates)) / (peak_tflops * denom)
+        f = min(max(f, 1e-3), 1.0)
+        resid = float(np.sum((peak_tflops * f * g - rates) ** 2))
+        if resid < best[0]:
+            best = (resid, f, n_half)
+    return best[1], best[2]
+
+
+def calibrate_gpu(
+    gpu: GPUSpec,
+    precision: Precision,
+    sizes: Sequence[int],
+    measured_tflops: Sequence[float],
+) -> GPUSpec:
+    """Return a copy of ``gpu`` re-anchored to measured GEMM samples."""
+    peak = gpu.peak(precision) / 1e12
+    f, n_half = fit_gemm_curve(sizes, measured_tflops, peak)
+    sustained = dict(gpu.sustained_fraction)
+    half = dict(gpu.half_perf_size)
+    sustained[precision] = f
+    half[precision] = n_half
+    return replace(gpu, sustained_fraction=sustained, half_perf_size=half)

@@ -1,0 +1,110 @@
+"""Execution-time model for the tile kernels of Algorithm 1.
+
+Times are derived from flop counts and the per-GPU sustained GEMM rate
+(:meth:`GPUSpec.sustained_gemm_rate`).  Non-GEMM kernels achieve a
+kernel-specific fraction of that rate: POTRF is a small, partially
+sequential panel kernel; TRSM and SYRK are closer to GEMM-shaped.
+
+The model also prices datatype conversions (Section VI): converting a
+tile between precisions on the GPU is a bandwidth-bound pass reading the
+source and writing the destination encoding through HBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..precision.formats import Precision, bytes_per_element
+from .gpus import GPUSpec
+
+__all__ = [
+    "KernelKind",
+    "kernel_flops",
+    "kernel_time",
+    "gemm_time",
+    "conversion_time",
+    "KernelTimeModel",
+]
+
+
+class KernelKind:
+    """String constants for the four Cholesky kernels."""
+
+    POTRF = "POTRF"
+    TRSM = "TRSM"
+    SYRK = "SYRK"
+    GEMM = "GEMM"
+
+    ALL = (POTRF, TRSM, SYRK, GEMM)
+
+
+#: fraction of the sustained GEMM rate each kernel achieves
+_KERNEL_EFFICIENCY = {
+    KernelKind.POTRF: 0.30,
+    KernelKind.TRSM: 0.60,
+    KernelKind.SYRK: 0.90,
+    KernelKind.GEMM: 1.00,
+}
+
+
+def kernel_flops(kind: str, nb: int) -> float:
+    """Flop count of one tile kernel on an ``nb`` × ``nb`` tile.
+
+    Standard tile-algorithm counts: POTRF nb³/3, TRSM nb³, SYRK nb³
+    (nb²·(nb+1) ≈ nb³), GEMM 2·nb³.
+    """
+    n3 = float(nb) ** 3
+    if kind == KernelKind.POTRF:
+        return n3 / 3.0
+    if kind == KernelKind.TRSM:
+        return n3
+    if kind == KernelKind.SYRK:
+        return n3 + float(nb) ** 2
+    if kind == KernelKind.GEMM:
+        return 2.0 * n3
+    raise ValueError(f"unknown kernel kind {kind!r}")
+
+
+def kernel_time(gpu: GPUSpec, kind: str, nb: int, precision: Precision) -> float:
+    """Seconds to execute one tile kernel on ``gpu`` in ``precision``."""
+    rate = gpu.sustained_gemm_rate(precision, nb) * _KERNEL_EFFICIENCY[kind]
+    return kernel_flops(kind, nb) / rate
+
+
+def gemm_time(gpu: GPUSpec, n: int, precision: Precision) -> float:
+    """Seconds for a square n×n×n GEMM — the Section IV benchmark."""
+    return kernel_time(gpu, KernelKind.GEMM, n, precision)
+
+
+def conversion_time(gpu: GPUSpec, elements: int, src: Precision, dst: Precision) -> float:
+    """Seconds to convert ``elements`` values between precisions on-device.
+
+    Bandwidth-bound: read the source encoding, write the destination
+    encoding, both through HBM.  A no-op when the formats share an
+    encoding (e.g. FP32 → TF32 inputs are re-read natively by the tensor
+    core and cost nothing extra here; that cost lives inside the GEMM
+    sustained rate).
+    """
+    if src == dst:
+        return 0.0
+    nbytes = elements * (bytes_per_element(src) + bytes_per_element(dst))
+    return gpu.conversion_launch + nbytes / (
+        gpu.memory_bandwidth * gpu.conversion_efficiency
+    )
+
+
+@dataclass(frozen=True)
+class KernelTimeModel:
+    """Convenience bundle binding a :class:`GPUSpec` and a tile size."""
+
+    gpu: GPUSpec
+    nb: int
+
+    def time(self, kind: str, precision: Precision) -> float:
+        return kernel_time(self.gpu, kind, self.nb, precision)
+
+    def flops(self, kind: str) -> float:
+        return kernel_flops(kind, self.nb)
+
+    def convert(self, src: Precision, dst: Precision) -> float:
+        return conversion_time(self.gpu, self.nb * self.nb, src, dst)

@@ -1,0 +1,49 @@
+"""Inter-node network model for the Summit-scale experiments.
+
+Messages between nodes follow the classical alpha–beta (latency +
+bytes/bandwidth) model on each node's injection NIC.  Broadcasts — the
+dominant pattern in tile Cholesky (POTRF → column of TRSMs, TRSM → row and
+column of GEMMs, Section VI) — use a binomial tree over the participating
+nodes, so a broadcast to ``p`` peers costs ``ceil(log2(p+1))`` sequential
+message steps on the critical path while each node's NIC is charged only
+for the messages it actually forwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .gpus import NodeSpec
+
+__all__ = ["message_time", "broadcast_steps", "broadcast_time", "NetworkModel"]
+
+
+def message_time(node: NodeSpec, nbytes: float) -> float:
+    """Point-to-point message time under the alpha-beta model."""
+    return node.nic_latency + nbytes / node.nic_bandwidth
+
+
+def broadcast_steps(n_destinations: int) -> int:
+    """Number of sequential rounds of a binomial-tree broadcast."""
+    if n_destinations <= 0:
+        return 0
+    return int(math.ceil(math.log2(n_destinations + 1)))
+
+
+def broadcast_time(node: NodeSpec, nbytes: float, n_destinations: int) -> float:
+    """Critical-path time to broadcast ``nbytes`` to ``n_destinations`` nodes."""
+    return broadcast_steps(n_destinations) * message_time(node, nbytes)
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Network model bound to one node type."""
+
+    node: NodeSpec
+
+    def p2p(self, nbytes: float) -> float:
+        return message_time(self.node, nbytes)
+
+    def bcast(self, nbytes: float, n_destinations: int) -> float:
+        return broadcast_time(self.node, nbytes, n_destinations)

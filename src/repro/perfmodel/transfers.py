@@ -1,0 +1,56 @@
+"""Host↔device and host↔host transfer-time models (Table II anchor).
+
+Table II of the paper measures, on one Summit V100, the time to move one
+tile/matrix to the GPU in each precision and the time to execute a GEMM on
+it.  Moving a 2048² FP64 tile takes 0.67 ms — exactly 33.55 MB at 50 GB/s
+— and halves with each precision step down, which is precisely the
+bytes/bandwidth model implemented here.  The data-motion argument of the
+automated conversion strategy (send in the *lowest adequate* precision so
+fewer bytes cross the link) falls directly out of this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..precision.formats import Precision, bytes_per_element
+from .gpus import GPUSpec, NodeSpec
+
+__all__ = ["tile_bytes", "h2d_time", "d2h_time", "host_copy_time", "TransferModel"]
+
+
+def tile_bytes(nb: int, precision: Precision) -> int:
+    """Bytes of one ``nb`` × ``nb`` tile encoded in ``precision``."""
+    return nb * nb * bytes_per_element(precision)
+
+
+def h2d_time(gpu: GPUSpec, nb: int, precision: Precision) -> float:
+    """Seconds to move one tile host → device over the GPU's host link."""
+    return gpu.host_link_latency + tile_bytes(nb, precision) / gpu.host_link_bandwidth
+
+
+def d2h_time(gpu: GPUSpec, nb: int, precision: Precision) -> float:
+    """Seconds to move one tile device → host (symmetric link)."""
+    return h2d_time(gpu, nb, precision)
+
+
+def host_copy_time(node: NodeSpec, nbytes: float) -> float:
+    """Seconds for a host-memory staging copy of ``nbytes``."""
+    return nbytes / node.cpu_memory_bandwidth
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Bundle binding a :class:`GPUSpec` and a tile size (Table II rows)."""
+
+    gpu: GPUSpec
+    nb: int
+
+    def bytes(self, precision: Precision) -> int:
+        return tile_bytes(self.nb, precision)
+
+    def h2d(self, precision: Precision) -> float:
+        return h2d_time(self.gpu, self.nb, precision)
+
+    def d2h(self, precision: Precision) -> float:
+        return d2h_time(self.gpu, self.nb, precision)

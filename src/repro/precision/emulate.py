@@ -1,0 +1,99 @@
+"""Software emulation of reduced-precision arithmetic on NumPy arrays.
+
+We have no tensor cores in this reproduction, so the numerical behaviour
+of each GPU precision format (Fig. 1's accuracy panel) is emulated on the
+host in IEEE double precision:
+
+* *quantisation* — rounding an FP64 array to the representable set of the
+  target input format (FP32 and FP16 via native NumPy dtypes; TF32 and
+  BF16 via round-to-nearest-even mantissa truncation of the FP32
+  encoding);
+* *accumulation* — matrix products are evaluated with an accumulator of
+  the format's ``accum_bits``; pure FP16 uses chunked accumulation with
+  partial sums re-rounded to FP16, reproducing the linear-in-k error
+  growth (and eventual overflow at |x| > 65504) of genuine half-precision
+  accumulation.
+
+The emulation is deliberately value-faithful rather than bit-faithful:
+tensor cores round slightly differently inside the 4×4 block FMA (Fasi et
+al., 2021), but the error *scaling* — what the tile-selection rule and the
+Monte Carlo accuracy study respond to — matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import FORMAT_INFO, Precision
+
+__all__ = [
+    "truncate_mantissa",
+    "quantize",
+    "quantize_tile",
+    "storage_dtype",
+]
+
+
+def truncate_mantissa(x: np.ndarray, keep_bits: int) -> np.ndarray:
+    """Round FP32 values to ``keep_bits`` significand bits (incl. implicit).
+
+    Implements round-to-nearest-even on the binary32 encoding, which is
+    how TF32 (11 bits) and BF16 (8 bits) inputs are produced from FP32
+    registers on the GPU.  Returns a float32 array.
+    """
+    if keep_bits >= 24:
+        return np.asarray(x, dtype=np.float32)
+    x32 = np.ascontiguousarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    drop = np.uint32(24 - keep_bits)
+    one = np.uint32(1)
+    # round-to-nearest-even: add half ulp (of the kept grid) plus the
+    # tie-breaking bit taken from the lowest kept position
+    lsb = (bits >> drop) & one
+    round_bias = (one << (drop - one)) - one + lsb
+    rounded = (bits + round_bias) >> drop << drop
+    return rounded.view(np.float32).copy()
+
+
+def quantize(x: np.ndarray, precision: Precision) -> np.ndarray:
+    """Round ``x`` to the *input* format of ``precision``; returns float64.
+
+    The result is returned widened back to float64 so downstream NumPy
+    code keeps full-width arithmetic while the values live on the target
+    format's grid.  FP16-family formats saturate to ±inf past 65504, like
+    the hardware.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if precision == Precision.FP64:
+        return x
+    if precision == Precision.FP32:
+        return x.astype(np.float32).astype(np.float64)
+    if precision in (Precision.FP16, Precision.FP16_32):
+        with np.errstate(over="ignore"):  # saturation to ±inf is the modeled behaviour
+            return x.astype(np.float16).astype(np.float64)
+    if precision == Precision.TF32:
+        return truncate_mantissa(x.astype(np.float32), 11).astype(np.float64)
+    if precision == Precision.BF16_32:
+        return truncate_mantissa(x.astype(np.float32), 8).astype(np.float64)
+    raise ValueError(f"unsupported precision {precision!r}")
+
+
+def storage_dtype(precision: Precision) -> np.dtype:
+    """NumPy dtype used to *hold* a tile at rest in ``precision``."""
+    return FORMAT_INFO[precision].rest_dtype
+
+
+def quantize_tile(tile: np.ndarray, precision: Precision) -> np.ndarray:
+    """Quantise a tile for storage, keeping the rest dtype of the format.
+
+    Unlike :func:`quantize` (which widens back to float64 for in-place
+    numerics), this mimics the matrix-generation phase of Section V where
+    tiles are written out directly in their storage precision.
+    """
+    if precision == Precision.FP64:
+        return np.asarray(tile, dtype=np.float64)
+    if precision in (Precision.FP32, Precision.FP16_32, Precision.TF32, Precision.BF16_32):
+        return np.asarray(tile, dtype=np.float32)
+    if precision == Precision.FP16:
+        return np.asarray(tile, dtype=np.float16)
+    raise ValueError(f"unsupported precision {precision!r}")

@@ -1,0 +1,37 @@
+"""PaRSEC-like task runtime: DAG, PTG DSL, simulator, numeric executor."""
+
+from .distributed import execute_numeric_distributed
+from .dsl import TaskClassSpec, TaskInstance, unroll
+from .dtd import AccessMode, DataAccess, DTDRuntime
+from .executor import execute_numeric
+from .gantt import ascii_gantt, engine_utilisation, to_chrome_trace
+from .parallel_executor import execute_numeric_parallel
+from .platform import Platform
+from .simulator import SimReport, simulate
+from .task import Task, TaskGraph, TaskInput, TileRef
+from .tracing import RunStats, Trace, TraceEvent
+
+__all__ = [
+    "AccessMode",
+    "DTDRuntime",
+    "DataAccess",
+    "Platform",
+    "RunStats",
+    "SimReport",
+    "Task",
+    "TaskClassSpec",
+    "TaskGraph",
+    "TaskInput",
+    "TaskInstance",
+    "TileRef",
+    "Trace",
+    "TraceEvent",
+    "ascii_gantt",
+    "engine_utilisation",
+    "execute_numeric",
+    "execute_numeric_distributed",
+    "execute_numeric_parallel",
+    "simulate",
+    "to_chrome_trace",
+    "unroll",
+]

@@ -1,0 +1,182 @@
+"""Distributed-memory numeric execution over OS processes.
+
+The paper's runtime executes the Cholesky DAG across MPI ranks (one per
+GPU) with the automated conversion strategy deciding each payload's wire
+precision.  This module reproduces that execution model with real
+message passing: one OS process per rank, per-rank inbox queues, and
+payloads that travel **already quantised to the edge's communication
+precision** — the sender-side conversion of STC happens where the paper
+puts it, and receivers re-quantise to their kernel's needs.
+
+Ranks process the graph in global task-id (topological) order: each rank
+executes the tasks it owns, blocks on its inbox for remote payloads, and
+pushes its outputs to every remote consumer rank.  Because every blocking
+wait is for a strictly earlier task, the protocol is deadlock-free by
+induction on task ids; because local reads see full-storage values and
+remote reads see sender-quantised payloads — exactly the sequential
+executor's semantics — the result is bit-identical to
+:func:`repro.runtime.executor.execute_numeric` (asserted in tests).
+
+Uses the ``fork`` start method (workers inherit the graph and the input
+matrix), so it is a faithful miniature of an SPMD MPI program rather
+than a literal MPI binding (mpi4py is unavailable offline; see
+DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+
+import numpy as np
+
+from ..precision.emulate import quantize
+from ..precision.formats import Precision
+from ..tiles.tilematrix import TiledSymmetricMatrix
+from .executor import _run_task
+from .task import TaskGraph
+
+__all__ = ["execute_numeric_distributed"]
+
+_TIMEOUT = 120.0
+
+
+def _seed_values(graph: TaskGraph, mat: TiledSymmetricMatrix, rank: int) -> dict:
+    """Version-0 tiles needed by this rank's tasks, at storage precision."""
+    values: dict[tuple[int, int, int], np.ndarray] = {}
+    for task in graph:
+        if task.rank != rank:
+            continue
+        for inp in task.inputs:
+            if inp.producer is None:
+                key = (inp.tile.i, inp.tile.j, inp.tile.version)
+                if key not in values:
+                    values[key] = quantize(mat.get(key[0], key[1]), inp.storage_precision)
+    return values
+
+
+def _consumer_plan(graph: TaskGraph) -> dict[int, list[tuple[int, Precision]]]:
+    """Per producing task: the (remote rank, payload precision) sends."""
+    plan: dict[int, list[tuple[int, Precision]]] = {}
+    for task in graph:
+        for inp in task.inputs:
+            if inp.producer is None:
+                continue
+            producer = graph.tasks[inp.producer]
+            if producer.rank == task.rank:
+                continue
+            sends = plan.setdefault(inp.producer, [])
+            entry = (task.rank, inp.payload_precision)
+            if entry not in sends:
+                sends.append(entry)
+    return plan
+
+
+def _rank_main(
+    rank: int,
+    graph: TaskGraph,
+    mat: TiledSymmetricMatrix,
+    inboxes,
+    results,
+) -> None:
+    try:
+        values = _seed_values(graph, mat, rank)
+        plan = _consumer_plan(graph)
+        inbox = inboxes[rank]
+        stash: dict[tuple[int, int, int, int], np.ndarray] = {}
+
+        def recv(key: tuple[int, int, int, int]) -> np.ndarray:
+            while key not in stash:
+                i, j, v, p, data = inbox.get(timeout=_TIMEOUT)
+                stash[(i, j, v, p)] = data
+            return stash[key]
+
+        for tid in graph.topological_order():
+            task = graph.tasks[tid]
+            if task.rank != rank:
+                continue
+            # gather remote inputs
+            for inp in task.inputs:
+                key3 = (inp.tile.i, inp.tile.j, inp.tile.version)
+                if key3 in values:
+                    continue
+                if inp.producer is None:
+                    raise KeyError(f"rank {rank}: missing host tile {key3}")
+                payload = recv((*key3, int(inp.payload_precision)))
+                values[key3] = payload
+            result = quantize(_run_task(task, values), task.output_precision)
+            out_key = (task.output.i, task.output.j, task.output.version)
+            values[out_key] = result
+            # ship to remote consumers at each edge's wire precision
+            for dest, prec in plan.get(tid, ()):
+                wire = quantize(result, prec)
+                inboxes[dest].put((*out_key, int(prec), wire))
+
+        # report final version of every tile this rank owns
+        finals: dict[tuple[int, int], tuple[int, np.ndarray]] = {}
+        for task in graph:
+            if task.rank != rank:
+                continue
+            key = (task.output.i, task.output.j)
+            v = task.output.version
+            if key not in finals or v > finals[key][0]:
+                finals[key] = (v, values[(key[0], key[1], v)])
+        results.put((rank, {k: v[1] for k, v in finals.items()}, None))
+    except BaseException as exc:  # surface worker failures to the parent
+        results.put((rank, {}, repr(exc)))
+
+
+def execute_numeric_distributed(
+    graph: TaskGraph,
+    mat: TiledSymmetricMatrix,
+    n_ranks: int,
+) -> TiledSymmetricMatrix:
+    """Execute the graph numerically across ``n_ranks`` processes.
+
+    ``graph`` must have been built for a process grid with exactly
+    ``n_ranks`` ranks (task ``rank`` fields in ``[0, n_ranks)``).
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be positive")
+    used = {t.rank for t in graph}
+    if used and max(used) >= n_ranks:
+        raise ValueError(f"graph uses rank {max(used)} but only {n_ranks} ranks given")
+
+    if n_ranks == 1:
+        from .executor import execute_numeric
+
+        return execute_numeric(graph, mat)
+
+    ctx = mp.get_context("fork")
+    inboxes = [ctx.Queue() for _ in range(n_ranks)]
+    results = ctx.Queue()
+    procs = [
+        ctx.Process(target=_rank_main, args=(r, graph, mat, inboxes, results))
+        for r in range(n_ranks)
+    ]
+    for p in procs:
+        p.start()
+    out = mat.copy()
+    error: str | None = None
+    try:
+        for _ in range(n_ranks):
+            try:
+                rank, finals, err = results.get(timeout=_TIMEOUT)
+            except queue_mod.Empty as exc:
+                raise RuntimeError("distributed execution timed out") from exc
+            if err is not None:
+                # fail fast: peers may be blocked waiting on the failed rank
+                error = f"rank {rank}: {err}"
+                break
+            for (i, j), data in finals.items():
+                out.set(i, j, data, precision=out.precision_of(i, j))
+    finally:
+        for p in procs:
+            if error is not None and p.is_alive():
+                p.terminate()
+            p.join(timeout=10)
+            if p.is_alive():
+                p.terminate()
+    if error is not None:
+        raise RuntimeError(error)
+    return out

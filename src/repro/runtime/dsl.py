@@ -1,0 +1,149 @@
+"""A miniature Parameterized Task Graph (PTG) DSL.
+
+PaRSEC's PTG (Section III-B) describes an algorithm as a collection of
+*task classes*; each class declares its execution space (the set of
+parameter tuples for which instances exist) and, per instance, the data
+each task reads and writes.  The runtime then unrolls the task classes
+into the concrete DAG.
+
+This module provides the same shape in Python: a :class:`TaskClassSpec`
+binds a kernel kind to an execution-space generator and a dataflow
+function, and :func:`unroll` materialises the classes into a
+:class:`~repro.runtime.task.TaskGraph`.  The Cholesky PTG
+(:mod:`repro.core.dag_cholesky`) is written against this API, keeping the
+algorithm description (which tasks exist, what they touch) separate from
+the runtime machinery — the productivity argument of the paper's DSL
+section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..precision.formats import Precision
+from .task import Task, TaskGraph, TaskInput, TileRef
+
+__all__ = ["TaskInstance", "TaskClassSpec", "unroll"]
+
+
+@dataclass
+class TaskInstance:
+    """One concrete task produced by a task class's dataflow function.
+
+    ``reads`` lists ``(producer_key, tile, payload_precision,
+    storage_precision, elements, role)`` where ``producer_key`` is the
+    ``(class_name, params)`` of the producing instance or ``None`` for an
+    original host tile, and ``role`` is ``"in"`` or ``"inout"``.
+    """
+
+    cls: str
+    params: tuple[int, ...]
+    rank: int
+    precision: Precision
+    flops: float
+    writes: TileRef
+    output_precision: Precision
+    reads: list[
+        tuple[tuple[str, tuple[int, ...]] | None, TileRef, Precision, Precision, int, str]
+    ]
+    sender_conversion: tuple[Precision, Precision] | None = None
+    priority: int = 0
+
+
+@dataclass
+class TaskClassSpec:
+    """One task class of the PTG.
+
+    ``space`` yields the parameter tuples of all instances;
+    ``instantiate`` maps a parameter tuple to a :class:`TaskInstance`.
+    """
+
+    name: str
+    space: Callable[[], Iterable[tuple[int, ...]]]
+    instantiate: Callable[[tuple[int, ...]], TaskInstance]
+
+
+def unroll(classes: Sequence[TaskClassSpec]) -> TaskGraph:
+    """Materialise task classes into a finalized :class:`TaskGraph`.
+
+    All instances are collected first, then topologically ordered by
+    their dataflow (Kahn's algorithm, stable with respect to emission
+    order), so task classes may reference each other freely — e.g.
+    POTRF(k) reading the SYRK output of the previous iteration.
+    Raises ``ValueError`` on unknown producers or dependency cycles.
+    """
+    instances: list[TaskInstance] = []
+    index_by_key: dict[tuple[str, tuple[int, ...]], int] = {}
+    for spec in classes:
+        for params in spec.space():
+            inst = spec.instantiate(params)
+            key = (inst.cls, inst.params)
+            if key in index_by_key:
+                raise ValueError(f"duplicate task instance {key}")
+            index_by_key[key] = len(instances)
+            instances.append(inst)
+
+    n = len(instances)
+    preds: list[list[int]] = [[] for _ in range(n)]
+    out_degree_order: list[list[int]] = [[] for _ in range(n)]
+    in_count = [0] * n
+    for idx, inst in enumerate(instances):
+        for producer_key, *_rest in inst.reads:
+            if producer_key is None:
+                continue
+            if producer_key not in index_by_key:
+                raise ValueError(f"{inst.cls}{inst.params} reads from unknown producer {producer_key}")
+            p = index_by_key[producer_key]
+            preds[idx].append(p)
+            out_degree_order[p].append(idx)
+            in_count[idx] += 1
+
+    # Kahn's algorithm, preferring emission order for determinism
+    import heapq
+
+    ready = [i for i in range(n) if in_count[i] == 0]
+    heapq.heapify(ready)
+    topo: list[int] = []
+    while ready:
+        i = heapq.heappop(ready)
+        topo.append(i)
+        for s in out_degree_order[i]:
+            in_count[s] -= 1
+            if in_count[s] == 0:
+                heapq.heappush(ready, s)
+    if len(topo) != n:
+        raise ValueError("task classes form a dependency cycle")
+
+    graph = TaskGraph()
+    tid_by_index: dict[int, int] = {}
+    for i in topo:
+        inst = instances[i]
+        inputs = []
+        for producer_key, tile, payload_prec, storage_prec, elements, role in inst.reads:
+            producer = None if producer_key is None else tid_by_index[index_by_key[producer_key]]
+            inputs.append(
+                TaskInput(
+                    producer=producer,
+                    tile=tile,
+                    payload_precision=payload_prec,
+                    storage_precision=storage_prec,
+                    elements=elements,
+                    role=role,
+                )
+            )
+        task = graph.new_task(
+            kind=inst.cls,
+            params=inst.params,
+            rank=inst.rank,
+            precision=inst.precision,
+            flops=inst.flops,
+            output=inst.writes,
+            output_precision=inst.output_precision,
+            inputs=inputs,
+            sender_conversion=inst.sender_conversion,
+            priority=inst.priority,
+        )
+        tid_by_index[i] = task.tid
+    graph.finalize()
+    return graph

@@ -1,0 +1,94 @@
+"""Numeric execution of a Cholesky task graph.
+
+The simulator prices a DAG in time; this module *computes* it, running the
+same task graph through the numeric tile kernels with payload
+quantisation applied exactly where the conversion strategy puts it.  It
+exists so tests can assert that the DAG the PTG unrolls is the same
+algorithm as the sequential reference (:func:`repro.core.cholesky.mp_cholesky`)
+— same dataflow, bit-identical results.
+
+Input-ordering convention of the Cholesky PTG (relied upon here):
+
+* ``POTRF(k)``         reads ``[C(k,k) inout]``
+* ``TRSM(m,k)``        reads ``[L(k,k) in, C(m,k) inout]``
+* ``SYRK(m,k)``        reads ``[L(m,k) in, C(m,m) inout]``
+* ``GEMM(m,n,k)``      reads ``[L(m,k) in, L(n,k) in, C(m,n) inout]``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precision.emulate import quantize
+from ..tiles import kernels as tk
+from ..tiles.tilematrix import TiledSymmetricMatrix
+from .task import Task, TaskGraph
+
+__all__ = ["execute_numeric"]
+
+
+def _payload(values: dict, inp) -> np.ndarray:
+    """Fetch one input payload, applying its communication quantisation."""
+    key = (inp.tile.i, inp.tile.j, inp.tile.version)
+    data = values[key]
+    return quantize(data, inp.payload_precision)
+
+
+def execute_numeric(graph: TaskGraph, mat: TiledSymmetricMatrix) -> TiledSymmetricMatrix:
+    """Run the task graph numerically against the tiles of ``mat``.
+
+    ``mat`` provides the version-0 tiles; the returned matrix holds the
+    Cholesky factor with the same storage-precision map the graph's
+    output precisions dictate.
+    """
+    out = mat.copy()
+    # version-0 values at storage precision (generation-phase cast)
+    values: dict[tuple[int, int, int], np.ndarray] = {}
+    for task in graph:
+        for inp in task.inputs:
+            if inp.producer is None:
+                key = (inp.tile.i, inp.tile.j, inp.tile.version)
+                if key not in values:
+                    i, j, _v = key
+                    tile = quantize(out.get(i, j), inp.storage_precision)
+                    values[key] = tile
+
+    for tid in graph.topological_order():
+        task = graph.tasks[tid]
+        result = _run_task(task, values)
+        # store at the task's output (storage) precision
+        result = quantize(result, task.output_precision)
+        values[(task.output.i, task.output.j, task.output.version)] = result
+
+    # collect the final version of every tile into the output matrix
+    final: dict[tuple[int, int], tuple[int, np.ndarray]] = {}
+    for (i, j, v), data in values.items():
+        if j > i:
+            continue
+        if (i, j) not in final or v > final[(i, j)][0]:
+            final[(i, j)] = (v, data)
+    for (i, j), (_v, data) in final.items():
+        out.set(i, j, data, precision=out.precision_of(i, j))
+    return out
+
+
+def _run_task(task: Task, values: dict) -> np.ndarray:
+    kind = task.kind
+    if kind == "POTRF":
+        c = _payload(values, task.inputs[0])
+        return np.tril(tk.potrf(c))
+    if kind == "TRSM":
+        l_kk, c_mk = (_payload(values, i) for i in task.inputs)
+        return tk.trsm(l_kk, c_mk, precision=task.precision)
+    if kind == "SYRK":
+        panel_inp, c_inp = task.inputs
+        panel = _payload(values, panel_inp)
+        c = _payload(values, c_inp)
+        return tk.syrk(panel, c, precision=panel_inp.payload_precision)
+    if kind == "GEMM":
+        a_inp, b_inp, c_inp = task.inputs
+        a = _payload(values, a_inp)
+        b = _payload(values, b_inp)
+        c = _payload(values, c_inp)
+        return tk.gemm(a, b, c, precision=task.precision)
+    raise ValueError(f"unknown task kind {kind!r}")

@@ -1,0 +1,112 @@
+"""Trace visualisation and export (PaRSEC-instrumentation stand-in).
+
+The paper's analyses lean on PaRSEC's instrumentation tooling (ref [9]).
+This module gives the simulated traces the same affordances:
+
+* :func:`ascii_gantt` — a quick terminal Gantt chart per rank/engine;
+* :func:`to_chrome_trace` — Chrome ``about://tracing`` / Perfetto JSON,
+  one row per (rank, engine), kernels coloured by precision;
+* :func:`engine_utilisation` — per-engine busy fractions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .tracing import TraceEvent
+
+__all__ = ["ascii_gantt", "to_chrome_trace", "engine_utilisation"]
+
+_GLYPH = {
+    "POTRF": "P",
+    "TRSM": "T",
+    "SYRK": "S",
+    "GEMM": "G",
+    "CONVERT": "c",
+    "LOAD": "l",
+    "STAGE": "s",
+    "EVICT": "e",
+    "SEND": "n",
+}
+
+
+def _rows(events: Sequence[TraceEvent]) -> list[tuple[tuple[int, str], list[TraceEvent]]]:
+    rows: dict[tuple[int, str], list[TraceEvent]] = {}
+    for ev in events:
+        rows.setdefault((ev.rank, ev.engine), []).append(ev)
+    return sorted(rows.items())
+
+
+def ascii_gantt(
+    events: Sequence[TraceEvent],
+    makespan: float | None = None,
+    *,
+    width: int = 100,
+) -> str:
+    """Render the trace as a fixed-width ASCII Gantt chart.
+
+    One character cell covers ``makespan / width`` seconds; the glyph of
+    the event covering most of a cell wins (idle = '.').
+    """
+    events = list(events)
+    if not events:
+        return "(empty trace)"
+    if makespan is None:
+        makespan = max(e.t_end for e in events)
+    if makespan <= 0:
+        return "(zero-length trace)"
+    dt = makespan / width
+    lines = []
+    for (rank, engine), evs in _rows(events):
+        cells = ["."] * width
+        cover = [0.0] * width
+        for ev in evs:
+            glyph = _GLYPH.get(ev.kind, "#")
+            first = max(0, int(ev.t_start / dt))
+            last = min(width - 1, int(max(ev.t_start, ev.t_end - 1e-18) / dt))
+            for c in range(first, last + 1):
+                cell_lo, cell_hi = c * dt, (c + 1) * dt
+                overlap = min(ev.t_end, cell_hi) - max(ev.t_start, cell_lo)
+                if overlap > cover[c]:
+                    cover[c] = overlap
+                    cells[c] = glyph
+        lines.append(f"r{rank:<3}{engine:<8}|{''.join(cells)}|")
+    legend = "P/T/S/G kernels  c convert  l load  s stage  e evict  n net  . idle"
+    return "\n".join(lines) + f"\n[{legend}]"
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> str:
+    """Serialise the trace to Chrome/Perfetto trace-event JSON."""
+    out = []
+    for ev in events:
+        out.append(
+            {
+                "name": ev.kind,
+                "cat": ev.engine,
+                "ph": "X",
+                "ts": ev.t_start * 1e6,  # microseconds
+                "dur": max(ev.t_end - ev.t_start, 0.0) * 1e6,
+                "pid": ev.rank,
+                "tid": {"compute": 0, "h2d": 1, "d2h": 2, "nic": 3}.get(ev.engine, 4),
+                "args": {
+                    "precision": ev.precision.name if ev.precision is not None else "",
+                    "bytes": ev.bytes,
+                    "flops": ev.flops,
+                },
+            }
+        )
+    return json.dumps({"traceEvents": out, "displayTimeUnit": "ms"})
+
+
+def engine_utilisation(
+    events: Sequence[TraceEvent], makespan: float
+) -> dict[tuple[int, str], float]:
+    """Busy fraction per (rank, engine) over the makespan."""
+    if makespan <= 0:
+        return {}
+    out: dict[tuple[int, str], float] = {}
+    for key, evs in _rows(events):
+        busy = sum(max(0.0, e.t_end - e.t_start) for e in evs)
+        out[key] = min(1.0, busy / makespan)
+    return out

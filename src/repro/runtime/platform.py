@@ -1,0 +1,64 @@
+"""Platform description: ranks, nodes, and GPUs for a simulated run.
+
+The paper deploys one MPI rank per GPU (6 per Summit node), laid out on a
+P×Q process grid that is "as square as possible" with P ≤ Q.  A
+:class:`Platform` binds a :class:`~repro.perfmodel.gpus.NodeSpec` to a
+node count and provides the rank ↔ (node, local GPU) mapping the
+simulator and the DAG builder share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perfmodel.gpus import GPUSpec, NodeSpec
+from ..tiles.distribution import ProcessGrid
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A set of ``n_nodes`` identical nodes; one rank per GPU."""
+
+    node: NodeSpec
+    n_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be positive")
+
+    @property
+    def gpu(self) -> GPUSpec:
+        return self.node.gpu
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.node.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} outside platform of {self.n_ranks} ranks")
+        return rank // self.node.gpus_per_node
+
+    def local_gpu(self, rank: int) -> int:
+        """GPU index of ``rank`` within its node."""
+        return rank % self.node.gpus_per_node
+
+    def process_grid(self) -> ProcessGrid:
+        """The squarest P×Q grid over all ranks (Section VII-A)."""
+        return ProcessGrid.squarest(self.n_ranks)
+
+    @classmethod
+    def single_gpu(cls, gpu: GPUSpec, *, host_memory: float = 256e9) -> "Platform":
+        """One node with one GPU of the given model (Fig. 8/9/10 setups)."""
+        node = NodeSpec(
+            name=f"single-{gpu.name.lower()}",
+            gpu=gpu,
+            gpus_per_node=1,
+            host_memory_bytes=host_memory,
+            nic_bandwidth=25e9,
+            nic_latency=1.5e-6,
+        )
+        return cls(node=node, n_nodes=1)

@@ -1,0 +1,187 @@
+"""Task and task-graph representation (the PaRSEC DAG substrate).
+
+PaRSEC represents an algorithm as a directed acyclic graph whose vertices
+are tasks and whose edges are dataflow dependencies (Section III-B).  Our
+:class:`TaskGraph` is the materialised equivalent: each :class:`Task`
+carries its kernel kind, execution precision, owning rank (the GPU that
+runs it, fixed by the block-cyclic owner of the tile it writes), flop
+count, and the list of :class:`TaskInput` payloads it consumes.  A
+``TaskInput`` names the producing task (or ``None`` for an original
+matrix tile staged on the host), the tile/version it carries, and the
+precision in which the payload travels — the quantity Algorithm 2
+decides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..precision.formats import Precision
+
+__all__ = ["TileRef", "TaskInput", "Task", "TaskGraph"]
+
+
+@dataclass(frozen=True)
+class TileRef:
+    """A specific version of one tile: the unit of dataflow."""
+
+    i: int
+    j: int
+    version: int
+
+    @property
+    def coords(self) -> tuple[int, int]:
+        return (self.i, self.j)
+
+
+@dataclass(frozen=True)
+class TaskInput:
+    """One payload consumed by a task.
+
+    ``producer`` is the task id that wrote this tile version, or ``None``
+    when the payload is an original matrix tile resident on the host.
+    ``payload_precision`` is the precision the data travels in (storage
+    precision under TTC; Algorithm 2's communication precision under
+    STC/AUTO).  ``storage_precision`` is the precision the data rests in
+    at its source — the pair determines whether a sender-side conversion
+    happened upstream.
+    """
+
+    producer: int | None
+    tile: TileRef
+    payload_precision: Precision
+    storage_precision: Precision
+    elements: int
+    #: "in" for read-only operands, "inout" for the accumulator operand
+    role: str = "in"
+
+
+@dataclass
+class Task:
+    """One node of the DAG."""
+
+    tid: int
+    kind: str
+    params: tuple[int, ...]
+    rank: int
+    precision: Precision
+    flops: float
+    output: TileRef
+    output_precision: Precision
+    inputs: list[TaskInput] = field(default_factory=list)
+    #: sender-side conversion performed once by this task on its own
+    #: output before broadcasting (STC); None when payload == storage.
+    sender_conversion: tuple[Precision, Precision] | None = None
+    #: scheduling priority: lower sorts earlier
+    priority: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}{self.params}"
+
+
+class TaskGraph:
+    """An immutable-after-finalize DAG of :class:`Task` objects."""
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+        self._succs: list[list[int]] | None = None
+        self._preds: list[list[int]] | None = None
+
+    # -- construction ----------------------------------------------------
+    def add(self, task: Task) -> int:
+        if self._succs is not None:
+            raise RuntimeError("graph already finalized")
+        if task.tid != len(self.tasks):
+            raise ValueError(f"task ids must be dense: got {task.tid}, expected {len(self.tasks)}")
+        self.tasks.append(task)
+        return task.tid
+
+    def new_task(self, **kwargs) -> Task:
+        """Create, add, and return a task with the next id."""
+        task = Task(tid=len(self.tasks), **kwargs)
+        self.add(task)
+        return task
+
+    def finalize(self) -> None:
+        """Freeze the graph and build predecessor/successor adjacency."""
+        if self._succs is not None:
+            return
+        n = len(self.tasks)
+        succs: list[list[int]] = [[] for _ in range(n)]
+        preds: list[list[int]] = [[] for _ in range(n)]
+        for task in self.tasks:
+            for inp in task.inputs:
+                if inp.producer is None:
+                    continue
+                if not 0 <= inp.producer < n:
+                    raise ValueError(f"task {task.tid} references unknown producer {inp.producer}")
+                if inp.producer >= task.tid:
+                    raise ValueError(
+                        f"task {task.tid} depends on later task {inp.producer}: not a DAG"
+                    )
+                succs[inp.producer].append(task.tid)
+                preds[task.tid].append(inp.producer)
+        self._succs = succs
+        self._preds = preds
+
+    # -- topology ----------------------------------------------------------
+    @property
+    def finalized(self) -> bool:
+        return self._succs is not None
+
+    def _require_finalized(self) -> None:
+        if self._succs is None:
+            raise RuntimeError("call finalize() first")
+
+    def successors(self, tid: int) -> Sequence[int]:
+        self._require_finalized()
+        return self._succs[tid]  # type: ignore[index]
+
+    def predecessors(self, tid: int) -> Sequence[int]:
+        self._require_finalized()
+        return self._preds[tid]  # type: ignore[index]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def topological_order(self) -> list[int]:
+        """Task ids in a valid execution order.
+
+        Task ids are assigned in construction order and producers must
+        precede consumers (enforced in :meth:`finalize`), so the id order
+        is itself topological.
+        """
+        self._require_finalized()
+        return list(range(len(self.tasks)))
+
+    def total_flops(self) -> float:
+        return sum(t.flops for t in self.tasks)
+
+    def flops_by_precision(self) -> dict[Precision, float]:
+        out: dict[Precision, float] = {}
+        for t in self.tasks:
+            out[t.precision] = out.get(t.precision, 0.0) + t.flops
+        return out
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for t in self.tasks:
+            out[t.kind] = out.get(t.kind, 0) + 1
+        return out
+
+    def critical_path_length(self, duration=lambda task: 1.0) -> float:
+        """Length of the longest path under a task-duration function."""
+        self._require_finalized()
+        dist = [0.0] * len(self.tasks)
+        best = 0.0
+        for tid in self.topological_order():
+            task = self.tasks[tid]
+            start = max((dist[p] for p in self.predecessors(tid)), default=0.0)
+            dist[tid] = start + float(duration(task))
+            best = max(best, dist[tid])
+        return best

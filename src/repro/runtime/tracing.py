@@ -1,0 +1,97 @@
+"""Execution traces and counters produced by the simulator.
+
+A :class:`TraceEvent` is one busy interval of one engine of one rank —
+compute (kernel or conversion), h2d/d2h copy, or NIC message.  The
+energy, occupancy, and reporting layers all consume this single schema.
+:class:`RunStats` aggregates the counters the paper reports: bytes moved
+per link per precision (the data-motion reduction of Section VII-D),
+conversion counts/time (STC's "convert once" saving), flops per
+precision, and kernel/transfer busy time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..precision.formats import Precision
+
+__all__ = ["TraceEvent", "RunStats", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One busy interval of one engine."""
+
+    rank: int
+    engine: str  # "compute" | "h2d" | "d2h" | "nic"
+    kind: str  # kernel name, "CONVERT", or transfer label
+    t_start: float
+    t_end: float
+    precision: Precision | None = None
+    bytes: int = 0
+    flops: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class RunStats:
+    """Aggregated counters of one simulated run."""
+
+    makespan: float = 0.0
+    total_flops: float = 0.0
+    flops_by_precision: dict[Precision, float] = field(default_factory=dict)
+    h2d_bytes_by_precision: dict[Precision, int] = field(default_factory=dict)
+    d2h_bytes: int = 0
+    nic_bytes: int = 0
+    n_conversions: int = 0
+    conversion_seconds: float = 0.0
+    n_tasks: int = 0
+    n_evictions: int = 0
+
+    @property
+    def h2d_bytes(self) -> int:
+        return sum(self.h2d_bytes_by_precision.values())
+
+    @property
+    def gflops(self) -> float:
+        """Achieved Gflop/s over the makespan."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.total_flops / self.makespan / 1e9
+
+    @property
+    def tflops(self) -> float:
+        return self.gflops / 1e3
+
+    def add_flops(self, precision: Precision, flops: float) -> None:
+        self.total_flops += flops
+        self.flops_by_precision[precision] = self.flops_by_precision.get(precision, 0.0) + flops
+
+    def add_h2d(self, precision: Precision, nbytes: int) -> None:
+        self.h2d_bytes_by_precision[precision] = (
+            self.h2d_bytes_by_precision.get(precision, 0) + nbytes
+        )
+
+
+@dataclass
+class Trace:
+    """Full event trace of one simulated run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    stats: RunStats = field(default_factory=RunStats)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def events_of_rank(self, rank: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def busy_seconds(self, engine: str, rank: int | None = None) -> float:
+        return sum(
+            e.duration
+            for e in self.events
+            if e.engine == engine and (rank is None or e.rank == rank)
+        )

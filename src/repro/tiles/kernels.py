@@ -1,0 +1,111 @@
+"""Numeric tile kernels of Algorithm 1 with emulated precision.
+
+The four kernels of the tile Cholesky factorization:
+
+* ``potrf`` — Cholesky of a diagonal tile; always FP64 (the "D" prefix in
+  Algorithm 1).
+* ``trsm`` — triangular solve of a panel tile against the diagonal
+  factor.  Nvidia GPUs expose no FP16 TRSM, so the kernel floor is FP32:
+  tiles whose selected precision is FP16_32/FP16 run their TRSM in FP32
+  (Section V).
+* ``syrk`` — symmetric rank-k update of a diagonal tile; always FP64.
+* ``gemm`` — the workhorse (>90 % of the flops); runs in any of the
+  adaptive formats via the emulated mixed-precision GEMM.
+
+All kernels take and return float64 arrays; reduced precision enters via
+quantisation of inputs and emulated low-precision accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from ..precision.emulate import quantize
+from ..precision.formats import Precision
+from ..precision.gemm import mixed_gemm
+
+__all__ = [
+    "NotPositiveDefiniteError",
+    "potrf",
+    "trsm",
+    "syrk",
+    "gemm",
+    "trsm_execution_precision",
+]
+
+
+class NotPositiveDefiniteError(np.linalg.LinAlgError):
+    """Raised when a diagonal tile fails the Cholesky factorization.
+
+    In the MLE driver this is a *signal*, not a bug: the optimizer probes
+    parameter vectors whose covariance matrix can be numerically singular,
+    and the likelihood evaluation reports -inf for them.
+    """
+
+
+def trsm_execution_precision(precision: Precision) -> Precision:
+    """Precision at which a TRSM for ``precision``-tiles actually runs.
+
+    FP16-family tiles execute their TRSM in FP32 (hardware limitation,
+    Section V); everything else runs natively.
+    """
+    if precision in (Precision.FP16, Precision.FP16_32, Precision.BF16_32, Precision.TF32):
+        return Precision.FP32
+    return precision
+
+
+def potrf(c_kk: np.ndarray) -> np.ndarray:
+    """FP64 Cholesky of a diagonal tile: returns lower factor L_kk."""
+    c_kk = np.asarray(c_kk, dtype=np.float64)
+    try:
+        return np.linalg.cholesky(c_kk)
+    except np.linalg.LinAlgError as exc:
+        raise NotPositiveDefiniteError(str(exc)) from exc
+
+
+def trsm(l_kk: np.ndarray, c_mk: np.ndarray, precision: Precision = Precision.FP64) -> np.ndarray:
+    """Triangular solve ``C_mk ← C_mk · L_kk^{-T}``.
+
+    Runs in FP64 or FP32 depending on :func:`trsm_execution_precision`.
+    """
+    exec_prec = trsm_execution_precision(precision)
+    l_kk = np.asarray(l_kk, dtype=np.float64)
+    c_mk = np.asarray(c_mk, dtype=np.float64)
+    if exec_prec == Precision.FP64:
+        xt = scipy.linalg.solve_triangular(l_kk, c_mk.T, lower=True)
+        return np.ascontiguousarray(xt.T)
+    l32 = l_kk.astype(np.float32)
+    c32 = c_mk.astype(np.float32)
+    xt = scipy.linalg.solve_triangular(l32, c32.T, lower=True)
+    return np.ascontiguousarray(xt.T).astype(np.float64)
+
+
+def syrk(c_mk: np.ndarray, c_mm: np.ndarray, precision: Precision = Precision.FP64) -> np.ndarray:
+    """Symmetric rank-k update ``C_mm ← C_mm − C_mk · C_mk^T`` (FP64).
+
+    ``precision`` controls the quantisation of the incoming panel tile
+    (its data may have travelled at reduced precision), while the update
+    itself always accumulates in FP64 as in Algorithm 1.
+    """
+    a = quantize(np.asarray(c_mk, dtype=np.float64), precision)
+    c = np.asarray(c_mm, dtype=np.float64)
+    out = c - a @ a.T
+    return (out + out.T) * 0.5
+
+
+def gemm(
+    c_mk: np.ndarray,
+    c_nk: np.ndarray,
+    c_mn: np.ndarray,
+    precision: Precision = Precision.FP64,
+) -> np.ndarray:
+    """Trailing update ``C_mn ← C_mn − C_mk · C_nk^T`` in ``precision``."""
+    return mixed_gemm(
+        np.asarray(c_mk, dtype=np.float64),
+        np.asarray(c_nk, dtype=np.float64).T,
+        np.asarray(c_mn, dtype=np.float64),
+        precision=precision,
+        alpha=-1.0,
+        beta=1.0,
+    )

@@ -1,0 +1,21 @@
+"""Tile Low-Rank (TLR) extension — the paper's Section VIII future work.
+
+Combines the adaptive mixed-precision framework with TLR compression
+(refs [16], [17]): off-diagonal covariance tiles become ``U Vᵀ`` outer
+products, the tile Cholesky runs in low-rank arithmetic, and the
+mixed-precision maps quantise the low-rank factors tile-by-tile.
+"""
+
+from .cholesky import TLRCholeskyResult, tlr_cholesky
+from .compression import LowRankTile, add_lowrank, compress, recompress
+from .tlrmatrix import TLRSymmetricMatrix
+
+__all__ = [
+    "LowRankTile",
+    "TLRCholeskyResult",
+    "TLRSymmetricMatrix",
+    "add_lowrank",
+    "compress",
+    "recompress",
+    "tlr_cholesky",
+]

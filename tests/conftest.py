@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geostats.covariance import Matern
+from repro.geostats.generator import SyntheticField, build_tiled_covariance
+from repro.geostats.locations import generate_locations
+from repro.tiles.tilematrix import TiledSymmetricMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_spd(n: int, rng: np.random.Generator, *, cond_boost: float = 1.0) -> np.ndarray:
+    """A well-conditioned random SPD matrix."""
+    a = rng.standard_normal((n, n))
+    return a @ a.T + cond_boost * n * np.eye(n)
+
+
+@pytest.fixture
+def spd_96(rng) -> np.ndarray:
+    return random_spd(96, rng)
+
+
+@pytest.fixture
+def tiled_96(spd_96) -> TiledSymmetricMatrix:
+    return TiledSymmetricMatrix.from_dense(spd_96, 16)
+
+
+@pytest.fixture
+def matern_cov_160() -> TiledSymmetricMatrix:
+    """A 160×160 Matérn covariance with genuine off-diagonal decay."""
+    locs = generate_locations(160, 2, seed=5)
+    return build_tiled_covariance(locs, Matern(dim=2), (1.0, 0.05, 0.5), 20)
+
+
+@pytest.fixture
+def small_field() -> SyntheticField:
+    return SyntheticField.matern_2d(n=144, variance=1.0, range_=0.1, smoothness=0.5, seed=3)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.gpu == "V100" and args.config == "FP64/FP16"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out and "H100" in out and "Tflop/s" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--n", "8192", "--nb", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "Tflop/s" in out
+
+    def test_simulate_ttc(self, capsys):
+        assert main(["simulate", "--n", "8192", "--nb", "1024",
+                     "--strategy", "ttc", "--config", "FP32"]) == 0
+        assert "TTC" in capsys.readouterr().out
+
+    def test_bench_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_bench_table2(self, capsys):
+        assert main(["bench", "table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_bench_fig8(self, capsys):
+        assert main(["bench", "fig8", "--gpu", "V100"]) == 0
+        assert "Fig. 8" in capsys.readouterr().out
+
+    def test_maps(self, capsys):
+        assert main(["maps", "--app", "2d-matern", "--n", "8192", "--nb", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "tile fractions" in out and "STC" in out
+
+    def test_mle_small(self, capsys):
+        assert main(["mle", "--model", "2d-matern", "--n", "64",
+                     "--accuracy", "1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "θ̂" in out and "loglik" in out

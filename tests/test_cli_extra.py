@@ -1,0 +1,59 @@
+"""Additional CLI coverage: exact mode, sqexp nugget defaults, fig benches."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMLEVariants:
+    def test_exact_flag(self, capsys):
+        assert main(["mle", "--model", "2d-matern", "--n", "49",
+                     "--accuracy", "1e-2", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out and "1e-02" in out
+
+    def test_sqexp_gets_default_nugget(self, capsys):
+        assert main(["mle", "--model", "2d-sqexp", "--n", "49"]) == 0
+        out = capsys.readouterr().out
+        assert "nugget=0.01" in out
+
+    def test_nugget_override(self, capsys):
+        assert main(["mle", "--model", "3d-sqexp", "--n", "27",
+                     "--nugget", "0.05"]) == 0
+        assert "nugget=0.05" in capsys.readouterr().out
+
+
+class TestBenchTargets:
+    def test_fig1(self, capsys):
+        assert main(["bench", "fig1", "--gpu", "A100"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "FP16" in out
+
+    def test_fig7(self, capsys):
+        assert main(["bench", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "2D-sqexp" in out and "3D-sqexp" in out
+
+
+class TestMapsAccuracyOverride:
+    def test_override_changes_fractions(self, capsys):
+        main(["maps", "--app", "2d-matern", "--n", "8192", "--nb", "1024"])
+        base = capsys.readouterr().out
+        main(["maps", "--app", "2d-matern", "--n", "8192", "--nb", "1024",
+              "--accuracy", "1e-1"])
+        loose = capsys.readouterr().out
+        assert base != loose
+        assert "u_req=0.1" in loose
+
+
+class TestSimulateConfigs:
+    @pytest.mark.parametrize("config", ["FP64", "FP32", "FP64/FP16_32"])
+    def test_all_configs_run(self, config, capsys):
+        assert main(["simulate", "--n", "4096", "--nb", "1024",
+                     "--config", config]) == 0
+        assert "Tflop/s" in capsys.readouterr().out
+
+    def test_multi_node(self, capsys):
+        assert main(["simulate", "--n", "8192", "--nb", "1024",
+                     "--gpus", "2", "--nodes", "2"]) == 0
+        assert "2x2x" in capsys.readouterr().out

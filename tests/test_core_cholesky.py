@@ -1,0 +1,157 @@
+"""Unit and property tests for the adaptive mixed-precision Cholesky."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cholesky import logdet_from_factor, mp_cholesky, solve_with_factor
+from repro.core.config import ConversionStrategy
+from repro.core.precision_map import build_precision_map, two_precision_map, uniform_map
+from repro.precision import Precision
+from repro.tiles.kernels import NotPositiveDefiniteError
+from repro.tiles.norms import tile_norms
+from repro.tiles.tilematrix import TiledSymmetricMatrix
+from tests.conftest import random_spd
+
+
+class TestFP64Reference:
+    def test_matches_numpy(self, tiled_96, spd_96):
+        res = mp_cholesky(tiled_96)
+        l = res.factor.lower_dense()
+        assert np.allclose(l, np.linalg.cholesky(spd_96), atol=1e-10)
+
+    def test_reconstruction(self, tiled_96, spd_96):
+        l = mp_cholesky(tiled_96).factor.lower_dense()
+        rel = np.linalg.norm(l @ l.T - spd_96) / np.linalg.norm(spd_96)
+        assert rel < 1e-14
+
+    def test_ragged_tiles(self, rng):
+        spd = random_spd(52, rng)
+        mat = TiledSymmetricMatrix.from_dense(spd, 16)
+        l = mp_cholesky(mat).factor.lower_dense()
+        assert np.allclose(l @ l.T, spd)
+
+    def test_single_tile(self, rng):
+        spd = random_spd(16, rng)
+        mat = TiledSymmetricMatrix.from_dense(spd, 16)
+        l = mp_cholesky(mat).factor.lower_dense()
+        assert np.allclose(l, np.linalg.cholesky(spd))
+
+    def test_input_not_modified_by_default(self, tiled_96):
+        before = tiled_96.to_dense()
+        mp_cholesky(tiled_96)
+        assert np.array_equal(tiled_96.to_dense(), before)
+
+    def test_overwrite_mode(self, tiled_96, spd_96):
+        res = mp_cholesky(tiled_96, overwrite=True)
+        assert res.factor is tiled_96
+
+    def test_raises_on_indefinite(self, rng):
+        a = rng.standard_normal((32, 32))
+        sym = (a + a.T) / 2  # indefinite
+        mat = TiledSymmetricMatrix.from_dense(sym, 16)
+        with pytest.raises(NotPositiveDefiniteError):
+            mp_cholesky(mat)
+
+
+class TestMixedPrecision:
+    def test_error_scales_with_accuracy(self, matern_cov_160):
+        dense = matern_cov_160.to_dense()
+        dense += 0.01 * np.eye(160)
+        mat = TiledSymmetricMatrix.from_dense(dense, 20)
+        norms = tile_norms(mat)
+        errors = {}
+        for acc in (1e-2, 1e-6, 1e-12):
+            kmap = build_precision_map(norms, acc)
+            l = mp_cholesky(mat, kmap).factor.lower_dense()
+            errors[acc] = np.linalg.norm(l @ l.T - dense) / np.linalg.norm(dense)
+        assert errors[1e-12] < errors[1e-6] < errors[1e-2]
+        assert errors[1e-2] < 1e-1
+
+    def test_error_within_budget(self, matern_cov_160):
+        """The factorization residual respects the u_req budget scale."""
+        dense = matern_cov_160.to_dense() + 0.01 * np.eye(160)
+        mat = TiledSymmetricMatrix.from_dense(dense, 20)
+        acc = 1e-4
+        kmap = build_precision_map(tile_norms(mat), acc)
+        l = mp_cholesky(mat, kmap).factor.lower_dense()
+        rel = np.linalg.norm(l @ l.T - dense) / np.linalg.norm(dense)
+        assert rel < acc * mat.nt * 10  # rule bound with slack for growth
+
+    @pytest.mark.parametrize(
+        "strategy", [ConversionStrategy.AUTO, ConversionStrategy.STC, ConversionStrategy.TTC]
+    )
+    def test_strategies_numerically_close(self, matern_cov_160, strategy):
+        """STC never loses more accuracy than TTC beyond re-quantisation."""
+        dense = matern_cov_160.to_dense() + 0.01 * np.eye(160)
+        mat = TiledSymmetricMatrix.from_dense(dense, 20)
+        kmap = build_precision_map(tile_norms(mat), 1e-4)
+        ref = mp_cholesky(mat, kmap, strategy=ConversionStrategy.TTC).factor.lower_dense()
+        out = mp_cholesky(mat, kmap, strategy=strategy).factor.lower_dense()
+        rel = np.linalg.norm(out - ref) / np.linalg.norm(ref)
+        assert rel < 1e-3
+
+    def test_kernel_counts(self, tiled_96):
+        res = mp_cholesky(tiled_96, two_precision_map(6, Precision.FP16))
+        counts = res.kernel_counts
+        assert counts[("POTRF", Precision.FP64)] == 6
+        assert counts[("SYRK", Precision.FP64)] == 15
+        assert counts[("TRSM", Precision.FP32)] == 15  # FP16 tiles → FP32 TRSM
+        assert counts[("GEMM", Precision.FP16)] == 20
+
+    def test_map_size_mismatch(self, tiled_96):
+        with pytest.raises(ValueError, match="NT"):
+            mp_cholesky(tiled_96, uniform_map(5, Precision.FP64))
+
+
+class TestLogdetAndSolve:
+    def test_logdet_matches_slogdet(self, tiled_96, spd_96):
+        res = mp_cholesky(tiled_96)
+        _sign, ref = np.linalg.slogdet(spd_96)
+        assert logdet_from_factor(res.factor) == pytest.approx(ref)
+
+    def test_result_logdet_method(self, tiled_96):
+        res = mp_cholesky(tiled_96)
+        assert res.logdet() == logdet_from_factor(res.factor)
+
+    def test_solve(self, tiled_96, spd_96, rng):
+        res = mp_cholesky(tiled_96)
+        b = rng.standard_normal(96)
+        x = solve_with_factor(res.factor, b)
+        assert np.allclose(spd_96 @ x, b)
+
+    def test_solve_matrix_rhs(self, tiled_96, spd_96, rng):
+        res = mp_cholesky(tiled_96)
+        b = rng.standard_normal((96, 3))
+        x = solve_with_factor(res.factor, b)
+        assert np.allclose(spd_96 @ x, b)
+
+    def test_logdet_neg_inf_on_bad_diag(self, tiled_96):
+        res = mp_cholesky(tiled_96)
+        tile = res.factor.get(0, 0)
+        tile[0, 0] = -1.0
+        res.factor.set(0, 0, tile)
+        assert logdet_from_factor(res.factor) == -math.inf
+
+
+@given(st.integers(2, 5), st.integers(0, 10**6),
+       st.sampled_from([1e-1, 1e-4, 1e-8]))
+@settings(max_examples=25, deadline=None)
+def test_property_mp_factor_residual_bounded(nt, seed, accuracy):
+    """For diagonally dominant SPD input, MP residual stays proportional
+    to the accuracy budget and the factor keeps a positive diagonal."""
+    rng = np.random.default_rng(seed)
+    nb = 8
+    n = nt * nb
+    a = rng.standard_normal((n, n))
+    spd = a @ a.T + 2 * n * np.eye(n)
+    mat = TiledSymmetricMatrix.from_dense(spd, nb)
+    kmap = build_precision_map(tile_norms(mat), accuracy)
+    res = mp_cholesky(mat, kmap)
+    l = res.factor.lower_dense()
+    rel = np.linalg.norm(l @ l.T - spd) / np.linalg.norm(spd)
+    assert rel < max(accuracy * nt * 20, 1e-13)
+    assert np.all(np.diag(l) > 0)

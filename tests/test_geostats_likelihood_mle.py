@@ -1,0 +1,122 @@
+"""Unit tests for the likelihood and MLE driver."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.core.config import MPConfig
+from repro.geostats.generator import SyntheticField
+from repro.geostats.likelihood import log_likelihood
+from repro.geostats.mle import default_tile_size, fit_mle
+from repro.precision import Precision
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticField.matern_2d(n=144, range_=0.1, smoothness=0.5, seed=3).sample()
+
+
+def _exact_config(nb=18):
+    return MPConfig(accuracy=1e-15, formats=(Precision.FP64,), tile_size=nb)
+
+
+class TestLikelihood:
+    def test_matches_scipy(self, dataset):
+        """Exact FP64 likelihood equals scipy's multivariate normal logpdf."""
+        theta = (1.0, 0.1, 0.5)
+        ours = log_likelihood(dataset, theta, _exact_config()).value
+        cov = dataset.model.cov_matrix(dataset.locations, theta)
+        ref = scipy.stats.multivariate_normal(
+            mean=np.zeros(dataset.n), cov=cov, allow_singular=False
+        ).logpdf(dataset.z)
+        assert ours == pytest.approx(ref, rel=1e-9)
+
+    def test_components(self, dataset):
+        ev = log_likelihood(dataset, (1.0, 0.1, 0.5), _exact_config())
+        n = dataset.n
+        assert ev.value == pytest.approx(
+            -0.5 * n * math.log(2 * math.pi) - 0.5 * ev.logdet - 0.5 * ev.quadratic
+        )
+        assert ev.quadratic > 0
+        assert ev.feasible
+
+    def test_mixed_precision_close_to_exact(self, dataset):
+        theta = (1.0, 0.1, 0.5)
+        exact = log_likelihood(dataset, theta, _exact_config()).value
+        mp = log_likelihood(dataset, theta, MPConfig(accuracy=1e-9, tile_size=18)).value
+        assert mp == pytest.approx(exact, abs=1e-3 * abs(exact) + 1e-3)
+
+    def test_looser_accuracy_larger_deviation(self, dataset):
+        theta = (1.0, 0.1, 0.5)
+        exact = log_likelihood(dataset, theta, _exact_config()).value
+        devs = []
+        for acc in (1e-9, 1e-4, 1e-1):
+            val = log_likelihood(dataset, theta, MPConfig(accuracy=acc, tile_size=18)).value
+            devs.append(abs(val - exact) if math.isfinite(val) else math.inf)
+        assert devs[0] <= devs[1] <= devs[2] or devs[2] == math.inf
+
+    def test_infeasible_theta_gives_neg_inf(self, dataset):
+        # an invalid θ (zero variance) is reported as an infeasible probe,
+        # not an exception — the optimizer depends on this contract
+        ev = log_likelihood(dataset, (0.0, 0.1, 0.5), _exact_config())
+        assert ev.value == -math.inf
+
+    def test_singular_covariance_gives_neg_inf(self):
+        # the nugget-free squared exponential at dense sampling is
+        # numerically singular in FP64: POTRF fails, likelihood is -inf
+        field = SyntheticField.sqexp_2d(n=144, range_=0.3, seed=0)
+        ds = field.sample()
+        ev = log_likelihood(ds, (1.0, 0.3), _exact_config())
+        assert ev.value == -math.inf
+
+    def test_keep_map(self, dataset):
+        ev = log_likelihood(
+            dataset, (1.0, 0.1, 0.5), MPConfig(accuracy=1e-4, tile_size=18), keep_map=True
+        )
+        assert ev.kernel_map is not None
+        assert ev.kernel_map.nt == 8
+
+    def test_nugget_changes_value(self, dataset):
+        from repro.geostats.generator import Dataset
+
+        noisy = Dataset(dataset.locations, dataset.z, dataset.model,
+                        dataset.theta_true, nugget=0.1)
+        a = log_likelihood(dataset, (1.0, 0.1, 0.5), _exact_config()).value
+        b = log_likelihood(noisy, (1.0, 0.1, 0.5), _exact_config()).value
+        assert a != b
+
+
+class TestFitMLE:
+    def test_default_tile_size(self):
+        assert default_tile_size(144) == 18
+        assert default_tile_size(100000) == 2048
+        assert default_tile_size(10) == 16
+
+    def test_recovers_parameters(self, dataset):
+        res = fit_mle(dataset, exact=True, tile_size=18, max_evals=250, xtol=1e-7)
+        # MLE at n=144 carries sampling error; stay within broad factors
+        assert 0.3 < res.theta_hat[0] < 2.0
+        assert 0.02 < res.theta_hat[1] < 0.5
+        assert 0.2 < res.theta_hat[2] < 1.5
+        assert res.accuracy_label == "exact"
+        assert math.isfinite(res.loglik)
+
+    def test_tight_accuracy_matches_exact(self, dataset):
+        exact = fit_mle(dataset, exact=True, tile_size=18, max_evals=200, xtol=1e-6)
+        tight = fit_mle(dataset, accuracy=1e-9, tile_size=18, max_evals=200, xtol=1e-6)
+        assert np.allclose(exact.theta_hat, tight.theta_hat, rtol=0.05, atol=0.01)
+
+    def test_fit_improves_on_start(self, dataset):
+        res = fit_mle(dataset, exact=True, tile_size=18, max_evals=150, xtol=1e-6)
+        start_ll = log_likelihood(dataset, (0.01, 0.01, 0.01), _exact_config()).value
+        assert res.loglik > start_ll
+
+    def test_accuracy_label(self, dataset):
+        res = fit_mle(dataset, accuracy=1e-4, tile_size=18, max_evals=30, restarts=0)
+        assert res.accuracy_label == "1e-04"
+
+    def test_result_iterable(self, dataset):
+        res = fit_mle(dataset, exact=True, tile_size=18, max_evals=30, restarts=0)
+        assert len(list(res)) == 3

@@ -1,0 +1,102 @@
+"""Unit and property tests for synthetic location generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geostats.locations import (
+    cross_distances,
+    generate_locations,
+    morton_order,
+    pairwise_distances,
+)
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("n,dim", [(100, 2), (64, 2), (125, 3), (7, 2), (1, 2)])
+    def test_shape_and_bounds(self, n, dim):
+        locs = generate_locations(n, dim, seed=0)
+        assert locs.shape == (n, dim)
+        assert np.all(locs >= 0.0) and np.all(locs <= 1.0)
+
+    def test_deterministic(self):
+        a = generate_locations(50, 2, seed=9)
+        b = generate_locations(50, 2, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_locations(50, 2, seed=1)
+        b = generate_locations(50, 2, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_space_filling(self):
+        """The jittered grid covers the square (no empty quadrant)."""
+        locs = generate_locations(400, 2, seed=0)
+        for qx in (0, 1):
+            for qy in (0, 1):
+                mask = (
+                    (locs[:, 0] >= 0.5 * qx) & (locs[:, 0] < 0.5 * (qx + 1))
+                    & (locs[:, 1] >= 0.5 * qy) & (locs[:, 1] < 0.5 * (qy + 1))
+                )
+                assert mask.sum() > 50
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_locations(0)
+        with pytest.raises(ValueError):
+            generate_locations(10, dim=4)
+
+
+class TestMorton:
+    def test_is_permutation(self):
+        locs = np.random.default_rng(0).random((100, 2))
+        order = morton_order(locs)
+        assert sorted(order) == list(range(100))
+
+    def test_locality(self):
+        """Morton ordering keeps index-neighbours spatially close on average."""
+        rng = np.random.default_rng(1)
+        locs = rng.random((400, 2))
+        ordered = locs[morton_order(locs)]
+        d_sorted = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        d_random = np.linalg.norm(np.diff(locs, axis=0), axis=1).mean()
+        assert d_sorted < 0.5 * d_random
+
+    def test_3d(self):
+        locs = np.random.default_rng(2).random((64, 3))
+        order = morton_order(locs)
+        assert sorted(order) == list(range(64))
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            morton_order(np.zeros(10))
+
+    def test_sort_flag(self):
+        unsorted = generate_locations(100, 2, seed=3, sort=False)
+        sorted_ = generate_locations(100, 2, seed=3, sort=True)
+        assert np.array_equal(np.sort(unsorted.ravel()), np.sort(sorted_.ravel()))
+
+
+class TestDistances:
+    def test_pairwise_properties(self):
+        locs = generate_locations(30, 2, seed=0)
+        d = pairwise_distances(locs)
+        assert d.shape == (30, 30)
+        assert np.allclose(np.diag(d), 0.0)
+        assert np.allclose(d, d.T)
+        assert np.all(d >= 0.0)
+
+    def test_cross_matches_pairwise(self):
+        locs = generate_locations(20, 2, seed=0)
+        d = cross_distances(locs, locs)
+        assert np.allclose(d, pairwise_distances(locs))
+
+    @given(st.integers(2, 20), st.integers(0, 10**6))
+    @settings(max_examples=30)
+    def test_triangle_inequality(self, n, seed):
+        rng = np.random.default_rng(seed)
+        locs = rng.random((n, 2))
+        d = pairwise_distances(locs)
+        i, j, k = rng.integers(0, n, size=3)
+        assert d[i, k] <= d[i, j] + d[j, k] + 1e-12

@@ -1,0 +1,101 @@
+"""Unit tests for the energy and occupancy post-processing."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.energy import energy_report, power_trace
+from repro.perfmodel.gpus import V100
+from repro.perfmodel.occupancy import busy_fraction, mean_occupancy, occupancy_trace
+from repro.precision import Precision
+
+
+@dataclass(frozen=True)
+class Ev:
+    t_start: float
+    t_end: float
+    engine: str = "compute"
+    precision: Precision = Precision.FP64
+    flops: float = 0.0
+
+
+class TestEnergy:
+    def test_idle_only(self):
+        rep = energy_report(V100, [], makespan=10.0)
+        assert rep.total_joules == pytest.approx(V100.idle_power * 10.0)
+        assert rep.gflops_per_watt == 0.0
+
+    def test_compute_energy_additive(self):
+        ev = Ev(0.0, 4.0, "compute", Precision.FP64, flops=1e12)
+        rep = energy_report(V100, [ev], makespan=10.0)
+        expected = V100.idle_power * 10.0 + (
+            V100.compute_power(Precision.FP64) - V100.idle_power
+        ) * 4.0
+        assert rep.total_joules == pytest.approx(expected)
+        assert rep.total_flops == 1e12
+
+    def test_fp16_cheaper_than_fp64(self):
+        e64 = energy_report(V100, [Ev(0, 5, "compute", Precision.FP64)], 5.0)
+        e16 = energy_report(V100, [Ev(0, 5, "compute", Precision.FP16)], 5.0)
+        assert e16.total_joules < e64.total_joules
+
+    def test_copy_engine_adder(self):
+        ev = Ev(0.0, 2.0, "h2d")
+        rep = energy_report(V100, [ev], makespan=2.0)
+        expected = V100.idle_power * 2.0 + V100.tdp_watts * V100.copy_power_fraction * 2.0
+        assert rep.total_joules == pytest.approx(expected)
+
+    def test_gflops_per_watt(self):
+        ev = Ev(0.0, 10.0, "compute", Precision.FP64, flops=1e13)
+        rep = energy_report(V100, [ev], makespan=10.0)
+        assert rep.gflops_per_watt == pytest.approx((1e13 / 1e9) / rep.total_joules)
+
+    def test_power_trace_clamped_at_tdp(self):
+        evs = [Ev(0.0, 1.0, "compute", Precision.FP64) for _ in range(10)]
+        samples = power_trace(V100, evs, 1.0, n_samples=20)
+        assert all(s.watts <= V100.tdp_watts * 1.1 for s in samples)
+
+    def test_power_trace_shape(self):
+        samples = power_trace(V100, [Ev(0.0, 0.5)], 1.0, n_samples=10)
+        busy = [s for s in samples if s.time < 0.5]
+        idle = [s for s in samples if s.time >= 0.5]
+        assert min(b.watts for b in busy) > max(i.watts for i in idle)
+
+    def test_empty_makespan(self):
+        assert power_trace(V100, [], 0.0) == []
+
+
+class TestOccupancy:
+    def test_full_busy(self):
+        evs = [Ev(0.0, 10.0)]
+        assert busy_fraction(evs, 10.0) == pytest.approx(1.0)
+        trace = occupancy_trace(evs, 10.0, n_windows=10)
+        assert mean_occupancy(trace) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        evs = [Ev(0.0, 5.0)]
+        assert busy_fraction(evs, 10.0) == pytest.approx(0.5)
+
+    def test_overlapping_intervals_merged(self):
+        evs = [Ev(0.0, 6.0), Ev(4.0, 8.0)]
+        assert busy_fraction(evs, 10.0) == pytest.approx(0.8)
+
+    def test_engine_filter(self):
+        evs = [Ev(0.0, 10.0, "h2d")]
+        assert busy_fraction(evs, 10.0, engine="compute") == 0.0
+        assert busy_fraction(evs, 10.0, engine="h2d") == pytest.approx(1.0)
+
+    def test_windowed_trace(self):
+        evs = [Ev(0.0, 2.5)]
+        trace = occupancy_trace(evs, 10.0, n_windows=4)
+        assert [round(s.occupancy, 6) for s in trace] == [1.0, 0.0, 0.0, 0.0]
+
+    def test_partial_window(self):
+        evs = [Ev(1.25, 2.5)]
+        trace = occupancy_trace(evs, 10.0, n_windows=4)
+        assert trace[0].occupancy == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert occupancy_trace([], 0.0) == []
+        assert mean_occupancy([]) == 0.0

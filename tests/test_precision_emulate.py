@@ -1,0 +1,125 @@
+"""Unit and property tests for reduced-precision emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.precision.emulate import quantize, quantize_tile, storage_dtype, truncate_mantissa
+from repro.precision.formats import Precision
+
+# normal-range floats (mantissa truncation on subnormals loses relative
+# accuracy by design, as on real hardware)
+finite_f32 = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-30, max_value=1e20, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=-1e20, max_value=-1e-30, allow_nan=False, allow_infinity=False),
+).map(np.float32)
+
+
+class TestTruncateMantissa:
+    def test_keep_all_bits_is_identity(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        assert np.array_equal(truncate_mantissa(x, 24), x)
+
+    def test_tf32_grid(self):
+        # 11-bit significand: 1 + 2^-10 is representable, 1 + 2^-11 rounds
+        x = np.array([1.0 + 2.0**-10, 1.0 + 2.0**-12], dtype=np.float32)
+        out = truncate_mantissa(x, 11)
+        assert out[0] == np.float32(1.0 + 2.0**-10)
+        assert out[1] == np.float32(1.0)  # rounds down to even
+
+    def test_round_to_nearest(self):
+        # half-ulp tie rounds to even; just above half-ulp rounds up
+        x = np.array([1.0 + 3 * 2.0**-12], dtype=np.float32)  # 0.75 ulp of 11-bit grid
+        out = truncate_mantissa(x, 11)
+        assert out[0] == np.float32(1.0 + 2.0**-10)
+
+    @given(hnp.arrays(np.float32, 16, elements=finite_f32), st.integers(8, 23))
+    @settings(max_examples=60)
+    def test_error_bounded_by_ulp(self, x, bits):
+        out = truncate_mantissa(x, bits)
+        finite = np.isfinite(out)
+        err = np.abs(out[finite] - x[finite])
+        bound = np.abs(x[finite]) * 2.0 ** (1 - bits) + 1e-45
+        assert np.all(err <= bound)
+
+    @given(hnp.arrays(np.float32, 16, elements=finite_f32), st.integers(8, 23))
+    @settings(max_examples=60)
+    def test_idempotent(self, x, bits):
+        once = truncate_mantissa(x, bits)
+        twice = truncate_mantissa(once, bits)
+        both_nan = np.isnan(once) & np.isnan(twice)
+        assert np.array_equal(once[~both_nan], twice[~both_nan])
+
+
+class TestQuantize:
+    def test_fp64_identity(self, rng):
+        x = rng.standard_normal(50)
+        assert quantize(x, Precision.FP64) is x or np.array_equal(quantize(x, Precision.FP64), x)
+
+    @pytest.mark.parametrize("prec", list(Precision))
+    def test_dtype_is_float64(self, prec, rng):
+        out = quantize(rng.standard_normal(10), prec)
+        assert out.dtype == np.float64
+
+    @pytest.mark.parametrize(
+        "prec,rel_bound",
+        [
+            (Precision.FP32, 2.0**-24),
+            (Precision.TF32, 2.0**-11),
+            (Precision.BF16_32, 2.0**-8),
+            (Precision.FP16, 2.0**-11),
+            (Precision.FP16_32, 2.0**-11),
+        ],
+    )
+    def test_relative_error_bound(self, prec, rel_bound, rng):
+        x = rng.uniform(0.5, 2.0, size=1000)  # away from subnormals
+        out = quantize(x, prec)
+        assert np.max(np.abs(out - x) / x) <= rel_bound
+
+    @pytest.mark.parametrize("prec", list(Precision))
+    def test_idempotent(self, prec, rng):
+        x = rng.standard_normal(100)
+        once = quantize(x, prec)
+        assert np.array_equal(quantize(once, prec), once)
+
+    def test_fp16_saturates(self):
+        out = quantize(np.array([1e6, -1e6]), Precision.FP16)
+        assert np.isinf(out[0]) and np.isinf(out[1])
+
+    def test_fp32_does_not_saturate_at_1e6(self):
+        out = quantize(np.array([1e6]), Precision.FP32)
+        assert out[0] == pytest.approx(1e6)
+
+    @given(hnp.arrays(np.float64, 8, elements=st.floats(-1e4, 1e4)))
+    @settings(max_examples=50)
+    def test_monotone(self, x):
+        """Quantisation preserves ordering (round-to-nearest is monotone)."""
+        for prec in (Precision.FP32, Precision.FP16, Precision.TF32):
+            q = quantize(np.sort(x), prec)
+            assert np.all(np.diff(q) >= 0.0)
+
+
+class TestQuantizeTile:
+    def test_storage_dtypes(self):
+        assert storage_dtype(Precision.FP64) == np.float64
+        assert storage_dtype(Precision.FP32) == np.float32
+        assert storage_dtype(Precision.FP16_32) == np.float32
+        assert storage_dtype(Precision.TF32) == np.float32
+        assert storage_dtype(Precision.FP16) == np.float16
+
+    @pytest.mark.parametrize("prec", list(Precision))
+    def test_tile_dtype_matches(self, prec, rng):
+        tile = rng.standard_normal((8, 8))
+        out = quantize_tile(tile, prec)
+        assert out.dtype == storage_dtype(prec)
+
+    def test_values_preserved_on_widening_roundtrip(self, rng):
+        tile = rng.standard_normal((8, 8))
+        q = quantize_tile(tile, Precision.FP16)
+        # a second FP32 cast of FP16 data is exact
+        assert np.array_equal(
+            q.astype(np.float32).astype(np.float16), q
+        )

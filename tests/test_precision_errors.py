@@ -1,0 +1,64 @@
+"""Unit tests for the error-measurement helpers."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.precision.errors import (
+    combine_frobenius,
+    frobenius,
+    max_abs_error,
+    relative_frobenius_error,
+)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+def test_frobenius_matches_numpy(rng):
+    a = rng.standard_normal((7, 9))
+    assert frobenius(a) == float(np.linalg.norm(a))
+
+
+def test_relative_error_zero_for_equal(rng):
+    a = rng.standard_normal((5, 5))
+    assert relative_frobenius_error(a, a) == 0.0
+
+
+def test_relative_error_zero_exact_zero():
+    z = np.zeros((3, 3))
+    assert relative_frobenius_error(z, z) == 0.0
+
+
+def test_relative_error_inf_when_exact_zero():
+    assert relative_frobenius_error(np.ones((2, 2)), np.zeros((2, 2))) == math.inf
+
+
+def test_max_abs_error(rng):
+    a = rng.standard_normal((4, 4))
+    b = a.copy()
+    b[2, 1] += 0.5
+    assert max_abs_error(b, a) == 0.5
+
+
+@given(hnp.arrays(np.float64, (4, 6), elements=finite))
+@settings(max_examples=50)
+def test_combine_frobenius_consistent(a):
+    """Combining per-block norms reproduces the global norm."""
+    blocks = [a[:2, :3], a[:2, 3:], a[2:, :3], a[2:, 3:]]
+    combined = combine_frobenius([frobenius(b) for b in blocks])
+    assert combined == float(np.linalg.norm(a)) or abs(
+        combined - float(np.linalg.norm(a))
+    ) <= 1e-9 * (1.0 + combined)
+
+
+@given(hnp.arrays(np.float64, (3, 3), elements=finite),
+       hnp.arrays(np.float64, (3, 3), elements=finite))
+@settings(max_examples=50)
+def test_relative_error_scale_invariant(a, b):
+    err1 = relative_frobenius_error(a, b)
+    err2 = relative_frobenius_error(2.0 * a, 2.0 * b)
+    if math.isfinite(err1) and math.isfinite(err2):
+        assert err2 == err1 or abs(err2 - err1) <= 1e-12 * (1.0 + err1)

@@ -1,0 +1,117 @@
+"""Unit and property tests for the emulated mixed-precision GEMM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision.errors import relative_frobenius_error
+from repro.precision.formats import FORMAT_INFO, Precision
+from repro.precision.gemm import gemm_relative_error, mixed_gemm, mixed_syrk
+
+
+class TestMixedGemmBasics:
+    def test_fp64_is_exact(self, rng):
+        a, b = rng.standard_normal((32, 24)), rng.standard_normal((24, 40))
+        assert np.array_equal(mixed_gemm(a, b, precision=Precision.FP64), a @ b)
+
+    def test_shapes_checked(self, rng):
+        a, b = rng.standard_normal((4, 4)), rng.standard_normal((5, 4))
+        with pytest.raises(ValueError, match="incompatible"):
+            mixed_gemm(a, b)
+
+    def test_beta_requires_c(self, rng):
+        a = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError, match="beta"):
+            mixed_gemm(a, a, beta=1.0)
+
+    def test_c_shape_checked(self, rng):
+        a = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError, match="shape"):
+            mixed_gemm(a, a, rng.standard_normal((3, 3)), beta=1.0)
+
+    def test_alpha_beta_fp64(self, rng):
+        a, b, c = (rng.standard_normal((8, 8)) for _ in range(3))
+        out = mixed_gemm(a, b, c, precision=Precision.FP64, alpha=-1.0, beta=1.0)
+        assert np.allclose(out, c - a @ b)
+
+    @pytest.mark.parametrize("prec", list(Precision))
+    def test_returns_float64(self, prec, rng):
+        a = rng.standard_normal((16, 16))
+        assert mixed_gemm(a, a, precision=prec).dtype == np.float64
+
+
+class TestErrorScaling:
+    @pytest.mark.parametrize(
+        "prec,lo,hi",
+        [
+            (Precision.FP32, 1e-8, 1e-5),
+            (Precision.TF32, 1e-5, 1e-2),
+            (Precision.FP16_32, 1e-5, 1e-2),
+            (Precision.BF16_32, 1e-4, 1e-1),
+            (Precision.FP16, 1e-4, 1e-1),
+        ],
+    )
+    def test_error_near_unit_roundoff(self, prec, lo, hi):
+        err = gemm_relative_error(256, prec)
+        assert lo < err < hi, f"{prec}: {err}"
+
+    def test_error_ordering_matches_fig1(self):
+        """Fig. 1 top row: FP64 < FP32 < TF32/FP16_32 < FP16."""
+        errs = {p: gemm_relative_error(256, p) for p in Precision}
+        assert errs[Precision.FP64] == 0.0
+        assert errs[Precision.FP32] < errs[Precision.TF32]
+        assert errs[Precision.FP32] < errs[Precision.FP16_32]
+        assert errs[Precision.FP16_32] <= errs[Precision.FP16]
+        assert errs[Precision.TF32] < errs[Precision.BF16_32]
+
+    def test_fp16_error_grows_with_k(self):
+        """Half-precision accumulation error grows with the inner dim."""
+        e_small = gemm_relative_error(64, Precision.FP16)
+        e_large = gemm_relative_error(512, Precision.FP16)
+        assert e_large > e_small
+
+    def test_fp32_accumulated_formats_insensitive_to_chunk(self, rng):
+        a = rng.standard_normal((64, 64))
+        out1 = mixed_gemm(a, a, precision=Precision.FP16_32, fp16_chunk=8)
+        out2 = mixed_gemm(a, a, precision=Precision.FP16_32, fp16_chunk=64)
+        assert np.array_equal(out1, out2)  # chunking only affects pure FP16
+
+
+class TestSyrk:
+    def test_matches_gemm(self, rng):
+        a = rng.standard_normal((16, 16))
+        c = rng.standard_normal((16, 16))
+        out = mixed_syrk(a, c, precision=Precision.FP64)
+        assert np.allclose(out, c - a @ a.T)
+
+    def test_fp64_syrk_symmetric_on_symmetric_c(self, rng):
+        a = rng.standard_normal((12, 12))
+        c0 = rng.standard_normal((12, 12))
+        c = c0 + c0.T
+        out = mixed_syrk(a, c, precision=Precision.FP64)
+        assert np.allclose(out, out.T)
+
+
+@given(
+    st.integers(4, 24),
+    st.sampled_from([Precision.FP32, Precision.FP16_32, Precision.FP16, Precision.TF32]),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_error_within_theory(n, prec, seed):
+    """Emulated GEMM error stays within the classical k·u bound."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, size=(n, n))
+    b = rng.uniform(-1, 1, size=(n, n))
+    exact = a @ b
+    approx = mixed_gemm(a, b, precision=prec)
+    info = FORMAT_INFO[prec]
+    # inputs rounded at input_bits, accumulation at accum_bits
+    u_in = 2.0 ** (1 - info.input_bits)
+    u_acc = 2.0 ** (1 - info.accum_bits)
+    bound = (2 * u_in + (n + 2) * u_acc) * 4.0  # generous constant
+    err = relative_frobenius_error(approx, exact)
+    # normalise by the product's condition: |a||b| vs |ab|
+    amp = float(np.linalg.norm(np.abs(a) @ np.abs(b)) / max(np.linalg.norm(exact), 1e-30))
+    assert err <= bound * max(amp, 1.0)

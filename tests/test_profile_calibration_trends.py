@@ -1,0 +1,157 @@
+"""Tests for profile likelihood, model calibration, and detrending."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import MPConfig
+from repro.geostats import (
+    Dataset,
+    SyntheticField,
+    detrend,
+    fit_mle,
+    fit_mle_profile,
+    polynomial_design,
+    profile_log_likelihood,
+)
+from repro.geostats.likelihood import log_likelihood
+from repro.perfmodel import V100, calibrate_gpu, fit_gemm_curve, verify_table2
+from repro.perfmodel.kernels import gemm_time
+from repro.precision import Precision
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticField.matern_2d(n=144, range_=0.1, smoothness=0.5, seed=9).sample()
+
+
+class TestProfileLikelihood:
+    def test_matches_full_likelihood_at_profiled_sigma(self, dataset):
+        """ℓ_p(φ) = ℓ((σ̂², φ)) — the defining identity of the profile."""
+        cfg = MPConfig(accuracy=1e-15, formats=(Precision.FP64,), tile_size=18)
+        phi = (0.1, 0.5)
+        prof = profile_log_likelihood(dataset, phi, cfg)
+        full = log_likelihood(dataset, (prof.sigma2_hat, *phi), cfg)
+        assert prof.value == pytest.approx(full.value, rel=1e-10)
+
+    def test_profiled_sigma_is_maximiser(self, dataset):
+        cfg = MPConfig(accuracy=1e-15, formats=(Precision.FP64,), tile_size=18)
+        phi = (0.1, 0.5)
+        prof = profile_log_likelihood(dataset, phi, cfg)
+        for factor in (0.8, 1.2):
+            other = log_likelihood(dataset, (prof.sigma2_hat * factor, *phi), cfg)
+            assert other.value < prof.value
+
+    def test_fit_agrees_with_joint_fit(self, dataset):
+        joint = fit_mle(dataset, exact=True, tile_size=18, max_evals=250, xtol=1e-7)
+        prof = fit_mle_profile(dataset, exact=True, tile_size=18, max_evals=250,
+                               xtol=1e-7)
+        assert prof.loglik == pytest.approx(joint.loglik, abs=0.5)
+        assert np.allclose(prof.theta_hat[1:], joint.theta_hat[1:], atol=0.05)
+
+    def test_fewer_dimensions_fewer_evals(self, dataset):
+        joint = fit_mle(dataset, exact=True, tile_size=18, max_evals=500,
+                        xtol=1e-8, restarts=0)
+        prof = fit_mle_profile(dataset, exact=True, tile_size=18, max_evals=500,
+                               xtol=1e-8)
+        assert prof.n_evals < joint.n_evals
+
+    def test_mixed_precision_profile(self, dataset):
+        res = fit_mle_profile(dataset, accuracy=1e-9, tile_size=18, max_evals=200,
+                              xtol=1e-6)
+        assert math.isfinite(res.loglik)
+        assert res.theta_hat[0] > 0
+
+    def test_nugget_rejected(self, dataset):
+        noisy = Dataset(dataset.locations, dataset.z, dataset.model,
+                        dataset.theta_true, nugget=0.1)
+        with pytest.raises(ValueError, match="nugget-free"):
+            fit_mle_profile(noisy)
+
+    def test_infeasible_phi(self, dataset):
+        cfg = MPConfig(accuracy=1e-15, formats=(Precision.FP64,), tile_size=18)
+        prof = profile_log_likelihood(dataset, (-1.0, 0.5), cfg)
+        assert prof.value == -math.inf
+
+
+class TestCalibration:
+    def test_shipped_model_passes_table2(self):
+        report = verify_table2()
+        assert report.ok, f"worst cell {report.worst_cell}: {report.max_rel_error:.3f}"
+        assert report.mean_rel_error < 0.08
+
+    def test_fit_recovers_known_curve(self):
+        sizes = [256, 512, 1024, 2048, 4096]
+        f_true, nh_true = 0.9, 512
+        peak = 100.0
+        rates = [peak * f_true * (n / nh_true) ** 2 / (1 + (n / nh_true) ** 2)
+                 for n in sizes]
+        f, nh = fit_gemm_curve(sizes, rates, peak)
+        assert f == pytest.approx(f_true, rel=0.05)
+        assert abs(nh - nh_true) <= 32
+
+    def test_calibrate_gpu_changes_predictions(self):
+        sizes = [1024, 2048, 4096]
+        # pretend the real GPU is 30 % slower than the shipped model
+        measured = [
+            0.7 * 2.0 * n**3 / gemm_time(V100, n, Precision.FP64) / 1e12 for n in sizes
+        ]
+        new_gpu = calibrate_gpu(V100, Precision.FP64, sizes, measured)
+        t_old = gemm_time(V100, 2048, Precision.FP64)
+        t_new = gemm_time(new_gpu, 2048, Precision.FP64)
+        assert t_new == pytest.approx(t_old / 0.7, rel=0.1)
+        # other precisions untouched
+        assert new_gpu.sustained_fraction[Precision.FP16] == V100.sustained_fraction[
+            Precision.FP16
+        ]
+
+    def test_fit_validates_input(self):
+        with pytest.raises(ValueError):
+            fit_gemm_curve([100], [1.0], 10.0)
+        with pytest.raises(ValueError):
+            fit_gemm_curve([100, 200], [1.0, -1.0], 10.0)
+
+
+class TestTrends:
+    def test_design_shapes(self):
+        locs = np.random.default_rng(0).random((20, 2))
+        assert polynomial_design(locs, 0).shape == (20, 1)
+        assert polynomial_design(locs, 1).shape == (20, 3)
+        assert polynomial_design(locs, 2).shape == (20, 6)
+
+    def test_degree_validation(self):
+        locs = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            polynomial_design(locs, 3)
+
+    def test_detrend_removes_linear_trend(self, dataset):
+        trend = 3.0 + 2.0 * dataset.locations[:, 0] - 1.5 * dataset.locations[:, 1]
+        biased = Dataset(dataset.locations, dataset.z + trend, dataset.model,
+                         dataset.theta_true)
+        residual, model = detrend(biased, degree=1)
+        # recovered trend ≈ injected trend (up to the GP's own smooth part)
+        assert np.allclose(model.predict(dataset.locations), trend, atol=1.0)
+        assert abs(np.mean(residual.z)) < 1e-10  # OLS residuals are centred
+
+    def test_detrended_fit_close_to_unbiased_fit(self, dataset):
+        trend = 5.0 + 4.0 * dataset.locations[:, 0]
+        biased = Dataset(dataset.locations, dataset.z + trend, dataset.model,
+                         dataset.theta_true)
+        residual, _ = detrend(biased, degree=1)
+        fit_clean = fit_mle(dataset, exact=True, tile_size=18, max_evals=150,
+                            xtol=1e-6, restarts=0)
+        fit_detr = fit_mle(residual, exact=True, tile_size=18, max_evals=150,
+                           xtol=1e-6, restarts=0)
+        assert np.allclose(fit_clean.theta_hat, fit_detr.theta_hat, rtol=0.3,
+                           atol=0.05)
+
+    def test_trend_prediction_at_new_locations(self):
+        locs = np.random.default_rng(1).random((30, 2))
+        z = 1.0 + 2.0 * locs[:, 0] + 3.0 * locs[:, 1]
+        from repro.geostats.covariance import Matern
+
+        ds = Dataset(locs, z, Matern(dim=2))
+        _res, trend = detrend(ds, degree=1)
+        new = np.array([[0.5, 0.5]])
+        assert trend.predict(new)[0] == pytest.approx(1.0 + 1.0 + 1.5, abs=1e-8)

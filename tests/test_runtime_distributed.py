@@ -1,0 +1,79 @@
+"""Tests for the process-based distributed numeric executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConversionStrategy,
+    build_cholesky_dag,
+    build_precision_map,
+    two_precision_map,
+    uniform_map,
+)
+from repro.precision import Precision
+from repro.runtime import execute_numeric
+from repro.runtime.distributed import execute_numeric_distributed
+from repro.tiles import ProcessGrid
+from repro.tiles.norms import tile_norms
+from repro.tiles.tilematrix import TiledSymmetricMatrix
+
+
+def _mat(rng, n=96, nb=16):
+    a = rng.standard_normal((n, n))
+    return TiledSymmetricMatrix.from_dense(a @ a.T + n * np.eye(n), nb)
+
+
+class TestDistributedExecutor:
+    @pytest.mark.parametrize("grid", [(1, 2), (2, 2), (2, 3)])
+    def test_matches_sequential_fp64(self, rng, grid):
+        mat = _mat(rng)
+        g = ProcessGrid(*grid)
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64), grid=g)
+        seq = execute_numeric(dag.graph, mat)
+        dist = execute_numeric_distributed(dag.graph, mat, g.size)
+        assert np.array_equal(dist.lower_dense(), seq.lower_dense())
+
+    @pytest.mark.parametrize("strategy", [ConversionStrategy.AUTO, ConversionStrategy.TTC])
+    def test_matches_sequential_mixed_precision(self, rng, strategy):
+        """STC payload quantisation on the wire reproduces the sequential
+        semantics bit-for-bit."""
+        mat = _mat(rng)
+        g = ProcessGrid(2, 2)
+        kmap = two_precision_map(6, Precision.FP16)
+        dag = build_cholesky_dag(96, 16, kmap, strategy=strategy, grid=g)
+        seq = execute_numeric(dag.graph, mat)
+        dist = execute_numeric_distributed(dag.graph, mat, g.size)
+        assert np.array_equal(dist.lower_dense(), seq.lower_dense())
+
+    def test_adaptive_map(self, rng):
+        mat = _mat(rng, n=120, nb=20)
+        g = ProcessGrid(1, 3)
+        kmap = build_precision_map(tile_norms(mat), 1e-4)
+        dag = build_cholesky_dag(120, 20, kmap, grid=g)
+        seq = execute_numeric(dag.graph, mat)
+        dist = execute_numeric_distributed(dag.graph, mat, 3)
+        assert np.array_equal(dist.lower_dense(), seq.lower_dense())
+
+    def test_single_rank_shortcut(self, rng):
+        mat = _mat(rng)
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64))
+        out = execute_numeric_distributed(dag.graph, mat, 1)
+        l = out.lower_dense()
+        assert np.allclose(l @ l.T, mat.to_dense())
+
+    def test_rank_count_validated(self, rng):
+        mat = _mat(rng)
+        g = ProcessGrid(2, 2)
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64), grid=g)
+        with pytest.raises(ValueError, match="rank"):
+            execute_numeric_distributed(dag.graph, mat, 2)
+        with pytest.raises(ValueError):
+            execute_numeric_distributed(dag.graph, mat, 0)
+
+    def test_worker_error_propagates(self, rng):
+        mat = _mat(rng)
+        g = ProcessGrid(2, 1)
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64), grid=g)
+        dag.graph.tasks[0].kind = "BROKEN"
+        with pytest.raises(RuntimeError, match="rank"):
+            execute_numeric_distributed(dag.graph, mat, 2)

@@ -1,0 +1,169 @@
+"""Unit and behavioural tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.core.config import ConversionStrategy
+from repro.core.precision_map import two_precision_map, uniform_map
+from repro.core.solver import simulate_cholesky
+from repro.perfmodel.gpus import GPUSpec, NodeSpec, V100
+from repro.perfmodel.kernels import KernelKind, kernel_time
+from repro.precision import Precision
+from repro.runtime.platform import Platform
+
+NB = 512
+
+
+def _platform(n_gpus=1, n_nodes=1, gpu=V100, host_memory=256e9):
+    node = NodeSpec(
+        name="test",
+        gpu=gpu,
+        gpus_per_node=n_gpus,
+        host_memory_bytes=host_memory,
+        nic_bandwidth=25e9,
+        nic_latency=1.5e-6,
+    )
+    return Platform(node=node, n_nodes=n_nodes)
+
+
+def _run(nt=6, prec=Precision.FP64, platform=None, strategy=ConversionStrategy.AUTO,
+         nb=NB, **kw):
+    platform = platform or _platform()
+    kmap = uniform_map(nt, prec) if prec == Precision.FP64 else two_precision_map(nt, prec)
+    return simulate_cholesky(nt * nb, nb, kmap, platform, strategy=strategy, **kw)
+
+
+class TestBasics:
+    def test_all_tasks_execute(self):
+        rep = _run(nt=5)
+        nt = 5
+        expected = nt + 2 * (nt * (nt - 1) // 2) + nt * (nt - 1) * (nt - 2) // 6
+        assert rep.stats.n_tasks == expected
+        assert len(rep.task_end) == expected
+
+    def test_makespan_bounds(self):
+        """Makespan ≥ serial compute on 1 GPU ≥ critical path."""
+        rep = _run(nt=6)
+        total_kernel = sum(
+            kernel_time(V100, t, NB, Precision.FP64) * c
+            for t, c in {
+                KernelKind.POTRF: 6,
+                KernelKind.TRSM: 15,
+                KernelKind.SYRK: 15,
+                KernelKind.GEMM: 20,
+            }.items()
+        )
+        assert rep.makespan >= total_kernel * 0.999
+        assert rep.makespan < total_kernel * 2.0  # transfers mostly overlap
+
+    def test_flops_accounted(self):
+        rep = _run(nt=4)
+        nb3 = float(NB) ** 3
+        expected = 4 * nb3 / 3 + 6 * (2 * nb3 + NB * NB) + 4 * 2 * nb3
+        assert rep.stats.total_flops == pytest.approx(expected, rel=1e-6)
+
+    def test_initial_h2d_volume_fp64(self):
+        """Every matrix tile crosses the link once at FP64 (in-memory case)."""
+        rep = _run(nt=5)
+        tiles = 5 * 6 // 2
+        assert rep.stats.h2d_bytes == tiles * NB * NB * 8
+        assert rep.stats.n_evictions == 0
+
+    def test_deterministic(self):
+        a = _run(nt=6)
+        b = _run(nt=6)
+        assert a.makespan == b.makespan
+        assert a.task_end == b.task_end
+
+    def test_trace_events_recorded(self):
+        rep = _run(nt=4, record_events=True)
+        engines = {e.engine for e in rep.trace.events}
+        assert "compute" in engines and "h2d" in engines
+        assert rep.trace.busy_seconds("compute", 0) > 0
+
+    def test_record_events_off(self):
+        rep = _run(nt=4, record_events=False)
+        assert rep.trace.events == []
+        assert rep.stats.n_tasks > 0
+
+
+class TestPrecisionEffects:
+    def test_fp16_config_faster(self):
+        # at nb=512 the FP64-bound panel kernels cap the gain well below
+        # the Fig. 8 (nb=2048) speedups; the ordering must still hold
+        t64 = _run(nt=8, prec=Precision.FP64).makespan
+        t16 = _run(nt=8, prec=Precision.FP16).makespan
+        assert t16 < t64 / 1.3
+
+    def test_fp16_moves_fewer_bytes(self):
+        b64 = _run(nt=8, prec=Precision.FP64).stats.h2d_bytes
+        b16 = _run(nt=8, prec=Precision.FP16).stats.h2d_bytes
+        assert b16 < b64
+
+    def test_stc_fewer_conversions_than_ttc(self):
+        stc = _run(nt=8, prec=Precision.FP16, strategy=ConversionStrategy.AUTO)
+        ttc = _run(nt=8, prec=Precision.FP16, strategy=ConversionStrategy.TTC)
+        assert stc.stats.n_conversions < ttc.stats.n_conversions
+        assert stc.makespan <= ttc.makespan
+
+    def test_ttc_moves_more_bytes_multi_gpu(self):
+        # on a single GPU producer == consumer, so payloads never cross the
+        # link; the byte saving materialises once consumers are remote
+        p = _platform(4)
+        stc = _run(nt=8, prec=Precision.FP16, strategy=ConversionStrategy.AUTO, platform=p)
+        ttc = _run(nt=8, prec=Precision.FP16, strategy=ConversionStrategy.TTC, platform=p)
+        assert stc.stats.h2d_bytes < ttc.stats.h2d_bytes
+
+    def test_h2d_split_by_precision(self):
+        rep = _run(nt=8, prec=Precision.FP16, strategy=ConversionStrategy.AUTO)
+        by_prec = rep.stats.h2d_bytes_by_precision
+        assert Precision.FP16 in by_prec or Precision.FP32 in by_prec
+
+
+class TestMemoryPressure:
+    def test_eviction_when_matrix_exceeds_gpu(self):
+        tiny_gpu = GPUSpec(
+            name="tiny",
+            peak_flops=V100.peak_flops,
+            sustained_fraction=V100.sustained_fraction,
+            half_perf_size=V100.half_perf_size,
+            memory_bytes=8 * NB * NB,  # a handful of FP64 tiles
+            memory_bandwidth=V100.memory_bandwidth,
+            host_link_bandwidth=V100.host_link_bandwidth,
+            host_link_latency=V100.host_link_latency,
+            tdp_watts=V100.tdp_watts,
+            compute_power_fraction=V100.compute_power_fraction,
+        )
+        rep = _run(nt=8, platform=_platform(gpu=tiny_gpu))
+        assert rep.stats.n_evictions > 0
+        assert rep.stats.d2h_bytes > 0
+        # reloads inflate h2d beyond the matrix size
+        assert rep.stats.h2d_bytes > 36 * NB * NB * 8
+
+    def test_enforce_memory_off(self):
+        rep = _run(nt=8, enforce_memory=False)
+        assert rep.stats.n_evictions == 0
+
+
+class TestMultiGPU:
+    def test_speedup_with_gpus(self):
+        t1 = _run(nt=12, platform=_platform(1)).makespan
+        t4 = _run(nt=12, platform=_platform(4)).makespan
+        assert t4 < t1 / 1.8
+
+    def test_multi_gpu_traffic_includes_staging(self):
+        rep1 = _run(nt=10, platform=_platform(1))
+        rep4 = _run(nt=10, platform=_platform(4))
+        # remote consumers force d2h staging that a single GPU never pays
+        assert rep4.stats.d2h_bytes > rep1.stats.d2h_bytes
+
+    def test_multi_node_uses_nic(self):
+        rep = _run(nt=10, platform=_platform(n_gpus=2, n_nodes=2))
+        assert rep.stats.nic_bytes > 0
+
+    def test_single_node_no_nic(self):
+        rep = _run(nt=10, platform=_platform(n_gpus=4, n_nodes=1))
+        assert rep.stats.nic_bytes == 0
+
+    def test_gflops_property(self):
+        rep = _run(nt=8)
+        assert rep.gflops == pytest.approx(rep.stats.total_flops / rep.makespan / 1e9)

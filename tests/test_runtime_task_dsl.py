@@ -1,0 +1,173 @@
+"""Unit tests for the task graph and the PTG DSL."""
+
+import pytest
+
+from repro.precision import Precision
+from repro.runtime.dsl import TaskClassSpec, TaskInstance, unroll
+from repro.runtime.task import Task, TaskGraph, TaskInput, TileRef
+
+
+def _task(tid, kind="GEMM", inputs=(), rank=0):
+    return Task(
+        tid=tid,
+        kind=kind,
+        params=(tid,),
+        rank=rank,
+        precision=Precision.FP64,
+        flops=1.0,
+        output=TileRef(tid, 0, 1),
+        output_precision=Precision.FP64,
+        inputs=list(inputs),
+    )
+
+
+def _inp(producer, i=0, j=0, v=1):
+    return TaskInput(
+        producer=producer,
+        tile=TileRef(i, j, v),
+        payload_precision=Precision.FP64,
+        storage_precision=Precision.FP64,
+        elements=4,
+    )
+
+
+class TestTaskGraph:
+    def test_add_and_finalize(self):
+        g = TaskGraph()
+        g.add(_task(0))
+        g.add(_task(1, inputs=[_inp(0)]))
+        g.finalize()
+        assert g.successors(0) == [1]
+        assert g.predecessors(1) == [0]
+        assert len(g) == 2
+
+    def test_dense_ids_enforced(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError, match="dense"):
+            g.add(_task(3))
+
+    def test_forward_dependency_rejected(self):
+        g = TaskGraph()
+        g.add(_task(0, inputs=[_inp(1)]))
+        g.add(_task(1))
+        with pytest.raises(ValueError, match="not a DAG"):
+            g.finalize()
+
+    def test_unknown_producer_rejected(self):
+        g = TaskGraph()
+        g.add(_task(0, inputs=[_inp(5)]))
+        with pytest.raises(ValueError, match="unknown producer"):
+            g.finalize()
+
+    def test_add_after_finalize_rejected(self):
+        g = TaskGraph()
+        g.add(_task(0))
+        g.finalize()
+        with pytest.raises(RuntimeError):
+            g.add(_task(1))
+
+    def test_topology_requires_finalize(self):
+        g = TaskGraph()
+        g.add(_task(0))
+        with pytest.raises(RuntimeError):
+            g.successors(0)
+
+    def test_flops_and_counts(self):
+        g = TaskGraph()
+        g.add(_task(0, kind="POTRF"))
+        g.add(_task(1, kind="GEMM", inputs=[_inp(0)]))
+        g.finalize()
+        assert g.total_flops() == 2.0
+        assert g.counts_by_kind() == {"POTRF": 1, "GEMM": 1}
+        assert g.flops_by_precision() == {Precision.FP64: 2.0}
+
+    def test_critical_path(self):
+        g = TaskGraph()
+        g.add(_task(0))
+        g.add(_task(1, inputs=[_inp(0)]))
+        g.add(_task(2, inputs=[_inp(0)]))
+        g.add(_task(3, inputs=[_inp(1), _inp(2)]))
+        g.finalize()
+        assert g.critical_path_length(lambda t: 1.0) == 3.0
+        assert g.critical_path_length(lambda t: 2.0) == 6.0
+
+
+def _mk_instance(name, params, reads, rank=0):
+    return TaskInstance(
+        cls=name,
+        params=params,
+        rank=rank,
+        precision=Precision.FP64,
+        flops=1.0,
+        writes=TileRef(params[0], 0, 1),
+        output_precision=Precision.FP64,
+        reads=reads,
+    )
+
+
+class TestDSL:
+    def test_unroll_forward_references(self):
+        """Classes may reference instances emitted later (topological sort)."""
+        consumer = TaskClassSpec(
+            "B",
+            lambda: [(0,)],
+            lambda p: _mk_instance(
+                "B", p,
+                [(("A", (0,)), TileRef(0, 0, 1), Precision.FP64, Precision.FP64, 4, "in")],
+            ),
+        )
+        producer = TaskClassSpec("A", lambda: [(0,)], lambda p: _mk_instance("A", p, []))
+        graph = unroll([consumer, producer])  # consumer listed first
+        assert len(graph) == 2
+        kinds = [graph.tasks[t].kind for t in graph.topological_order()]
+        assert kinds == ["A", "B"]
+
+    def test_duplicate_instance_rejected(self):
+        dup = TaskClassSpec(
+            "A", lambda: [(0,), (0,)], lambda p: _mk_instance("A", p, [])
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            unroll([dup])
+
+    def test_unknown_producer_rejected(self):
+        bad = TaskClassSpec(
+            "B",
+            lambda: [(0,)],
+            lambda p: _mk_instance(
+                "B", p,
+                [(("X", (9,)), TileRef(0, 0, 1), Precision.FP64, Precision.FP64, 4, "in")],
+            ),
+        )
+        with pytest.raises(ValueError, match="unknown producer"):
+            unroll([bad])
+
+    def test_cycle_rejected(self):
+        a = TaskClassSpec(
+            "A",
+            lambda: [(0,)],
+            lambda p: _mk_instance(
+                "A", p,
+                [(("B", (0,)), TileRef(0, 0, 1), Precision.FP64, Precision.FP64, 4, "in")],
+            ),
+        )
+        b = TaskClassSpec(
+            "B",
+            lambda: [(0,)],
+            lambda p: _mk_instance(
+                "B", p,
+                [(("A", (0,)), TileRef(1, 0, 1), Precision.FP64, Precision.FP64, 4, "in")],
+            ),
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            unroll([a, b])
+
+    def test_host_reads_allowed(self):
+        spec = TaskClassSpec(
+            "A",
+            lambda: [(0,)],
+            lambda p: _mk_instance(
+                "A", p, [(None, TileRef(0, 0, 0), Precision.FP64, Precision.FP64, 4, "inout")]
+            ),
+        )
+        graph = unroll([spec])
+        assert graph.tasks[0].inputs[0].producer is None
