@@ -7,12 +7,19 @@ Commands
 ``simulate``  price a mixed-precision Cholesky on a simulated platform
 ``bench``     run one experiment driver (table/figure) and print its table
 ``info``      show the encoded GPU specifications (Table I)
+``report``    summarise a captured run (metrics/manifest, events, trace)
+
+Telemetry flags (see ``docs/OBSERVABILITY.md``): ``simulate`` takes
+``--trace-out`` (Perfetto JSON with counter tracks), ``--metrics-out``
+(metrics + manifest + trace summary), and ``--events-out`` (JSONL);
+``mle`` takes ``--events-out`` for per-iteration records.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 __all__ = ["main", "build_parser"]
 
@@ -35,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--nugget", type=float, default=None,
                    help="measurement-error variance (default: 0.01 for sqexp)")
+    p.add_argument("--events-out", default=None, metavar="PATH",
+                   help="write per-iteration telemetry to a JSONL event log")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write metrics + run manifest as JSON")
 
     p = sub.add_parser("maps", help="print precision maps for an application")
     p.add_argument("--app", default="2d-matern",
@@ -53,6 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="FP64/FP16",
                    choices=["FP64", "FP32", "FP64/FP16_32", "FP64/FP16"])
     p.add_argument("--strategy", default="auto", choices=["auto", "stc", "ttc"])
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Perfetto/Chrome trace JSON with counter tracks")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write metrics + run manifest + trace summary as JSON")
+    p.add_argument("--events-out", default=None, metavar="PATH",
+                   help="write a structured JSONL event log")
+    p.add_argument("--csv-out", default=None, metavar="PATH",
+                   help="write the raw event trace as CSV")
+    p.add_argument("--run-id", default=None, help="run identifier for logs/manifest")
+
+    p = sub.add_parser("report", help="summarise a captured run")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="metrics/manifest JSON written by --metrics-out")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="JSONL event log written by --events-out")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="Perfetto trace JSON written by --trace-out")
 
     p = sub.add_parser("bench", help="run one experiment driver")
     p.add_argument("target", choices=[
@@ -65,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_mle(args) -> int:
+    import contextlib
+
+    from . import obs
     from .geostats import SyntheticField, fit_mle
     from .geostats.covariance import Matern, SquaredExponential
 
@@ -83,11 +114,19 @@ def _cmd_mle(args) -> int:
     levels = args.accuracy or [1e-9]
     runs = [("exact", dict(exact=True))] if args.exact else []
     runs += [(f"{a:.0e}", dict(accuracy=a)) for a in levels]
-    for label, kw in runs:
-        res = fit_mle(ds, max_evals=200, xtol=1e-7, **kw)
-        theta = ", ".join(f"{v:.4f}" for v in res.theta_hat)
-        print(f"  {label:>8}: θ̂ = ({theta})  loglik {res.loglik:.2f}  "
-              f"[{res.n_evals} evals]")
+    with contextlib.ExitStack() as stack:
+        if args.events_out:
+            log = stack.enter_context(obs.event_log(args.events_out))
+            print(f"  events → {args.events_out} (run {log.run_id})")
+        for label, kw in runs:
+            res = fit_mle(ds, max_evals=200, xtol=1e-7, **kw)
+            theta = ", ".join(f"{v:.4f}" for v in res.theta_hat)
+            print(f"  {label:>8}: θ̂ = ({theta})  loglik {res.loglik:.2f}  "
+                  f"[{res.n_evals} evals]")
+    if args.metrics_out:
+        manifest = obs.build_manifest(command="mle", config=vars(args), seed=args.seed)
+        obs.write_run_summary(args.metrics_out, manifest=manifest)
+        print(f"  metrics → {args.metrics_out}")
     return 0
 
 
@@ -116,6 +155,9 @@ def _cmd_maps(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    import contextlib
+
+    from . import obs
     from .core import (
         ConversionStrategy,
         simulate_cholesky,
@@ -141,15 +183,130 @@ def _cmd_simulate(args) -> int:
         "stc": ConversionStrategy.STC,
         "ttc": ConversionStrategy.TTC,
     }[args.strategy]
-    rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
-                            record_events=False)
+    # events are needed whenever a trace/CSV export was requested
+    record_events = bool(args.trace_out or args.csv_out)
+    with contextlib.ExitStack() as stack:
+        if args.events_out:
+            stack.enter_context(obs.event_log(args.events_out, run_id=args.run_id))
+        rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
+                                record_events=record_events)
+
     print(f"{args.config} on {args.nodes}x{args.gpus}x{args.gpu} "
           f"(n={args.n}, nb={args.nb}, {args.strategy.upper()}):")
-    print(f"  makespan   {rep.makespan:.4f} s")
-    print(f"  throughput {rep.stats.tflops:.1f} Tflop/s")
-    print(f"  h2d        {rep.stats.h2d_bytes / 1e9:.2f} GB")
-    print(f"  conversions {rep.stats.n_conversions} "
-          f"({rep.stats.conversion_seconds * 1e3:.1f} ms)")
+    d = rep.stats.to_dict()
+    print(f"  makespan   {d['makespan_seconds']:.4f} s")
+    print(f"  throughput {d['tflops']:.1f} Tflop/s")
+    print(f"  h2d        {d['h2d_bytes'] / 1e9:.2f} GB")
+    print(f"  d2h        {d['d2h_bytes'] / 1e9:.2f} GB  nic {d['nic_bytes'] / 1e9:.2f} GB")
+    print(f"  conversions {d['n_conversions']} "
+          f"({d['conversion_seconds'] * 1e3:.1f} ms)")
+    print(f"  tasks      {d['n_tasks']}  evictions {d['n_evictions']}")
+
+    if args.trace_out:
+        obs.write_perfetto_trace(rep.trace.events, args.trace_out, counters=True)
+        print(f"  trace   → {args.trace_out}")
+    if args.csv_out:
+        obs.write_trace_csv(rep.trace.events, args.csv_out)
+        print(f"  csv     → {args.csv_out}")
+    if args.metrics_out:
+        manifest = obs.build_manifest(
+            run_id=args.run_id, command="simulate", config=vars(args)
+        )
+        obs.write_run_summary(
+            args.metrics_out,
+            stats=rep.stats,
+            trace=rep.trace if record_events else None,
+            manifest=manifest,
+        )
+        print(f"  metrics → {args.metrics_out}")
+    return 0
+
+
+def _format_metric_series(metric: dict) -> list[str]:
+    lines = []
+    for series in metric.get("series", []):
+        labels = series.get("labels") or {}
+        label_s = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        value = series.get("value")
+        if isinstance(value, dict):  # histogram/timer digest
+            value_s = (f"count={value.get('count')} sum={value.get('sum'):.6g} "
+                       f"p50={value.get('p50')} p99={value.get('p99')}")
+        else:
+            value_s = f"{value:.6g}" if isinstance(value, float) else str(value)
+        lines.append(f"    {metric['name']}{{{label_s}}} = {value_s}")
+    return lines
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from .obs import read_events
+
+    if not (args.metrics or args.events or args.trace):
+        print("report: nothing to do — pass --metrics, --events, and/or --trace",
+              file=sys.stderr)
+        return 2
+
+    for path in (args.metrics, args.events, args.trace):
+        if path and not Path(path).exists():
+            print(f"report: no such file: {path}", file=sys.stderr)
+            return 2
+
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        manifest = doc.get("manifest") or {}
+        print(f"== run {manifest.get('run_id') or '<unnamed>'} "
+              f"({args.metrics}) ==")
+        if manifest:
+            versions = manifest.get("versions") or {}
+            print(f"  command   {manifest.get('command')}")
+            print(f"  seed      {manifest.get('seed')}")
+            print(f"  git rev   {manifest.get('git_revision')}")
+            print("  versions  " + ", ".join(
+                f"{k} {v}" for k, v in sorted(versions.items())))
+        stats = doc.get("stats")
+        if stats:
+            print("  -- stats --")
+            for key in ("makespan_seconds", "tflops", "h2d_bytes", "d2h_bytes",
+                        "nic_bytes", "n_tasks", "n_conversions", "n_evictions"):
+                if key in stats:
+                    print(f"    {key:<20} {stats[key]}")
+        metrics = doc.get("metrics") or {}
+        if metrics:
+            print("  -- metrics --")
+            for name in sorted(metrics):
+                for line in _format_metric_series(metrics[name]):
+                    print(line)
+
+    if args.events:
+        events = read_events(args.events)
+        by_type: dict[str, int] = {}
+        for ev in events:
+            by_type[ev.get("type", "?")] = by_type.get(ev.get("type", "?"), 0) + 1
+        run_ids = {ev.get("run_id") for ev in events}
+        print(f"== events ({args.events}) ==")
+        print(f"  {len(events)} events, run(s) {', '.join(sorted(filter(None, run_ids)))}")
+        for type_, count in sorted(by_type.items()):
+            print(f"    {type_:<24} {count}")
+        iters = [ev for ev in events if ev.get("type") == "mle.iteration"]
+        if iters:
+            last = iters[-1]["attrs"]
+            print(f"  last MLE iteration: k={last.get('k')} "
+                  f"loglik={last.get('loglik'):.4f} theta={last.get('theta')}")
+
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        trace_events = payload.get("traceEvents", [])
+        slices = [e for e in trace_events if e.get("ph") == "X"]
+        counters = {e["name"] for e in trace_events if e.get("ph") == "C"}
+        span_us = max((e["ts"] + e.get("dur", 0.0) for e in slices), default=0.0)
+        print(f"== trace ({args.trace}) ==")
+        print(f"  {len(slices)} slices over {span_us / 1e3:.3f} ms, "
+              f"{len({e.get('pid') for e in slices})} rank(s)")
+        if counters:
+            print("  counter tracks: " + ", ".join(sorted(counters)))
     return 0
 
 
@@ -218,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "bench": _cmd_bench,
         "info": _cmd_info,
+        "report": _cmd_report,
     }[args.command]
     return handler(args)
 

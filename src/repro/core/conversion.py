@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import emit_event, get_event_log
 from ..precision.formats import Precision, get_storage_precision
 from .config import ConversionStrategy
 from .precision_map import KernelPrecisionMap
@@ -242,4 +243,47 @@ def build_comm_precision_map(kmap: KernelPrecisionMap) -> CommPrecisionMap:
                 continue
             comm[m, k] = int(prec)
 
-    return CommPrecisionMap(nt=nt, comm_codes=comm, storage_codes=storage)
+    cmap = CommPrecisionMap(nt=nt, comm_codes=comm, storage_codes=storage)
+    _emit_comm_decision(cmap)
+    return cmap
+
+
+def _emit_comm_decision(cmap: CommPrecisionMap) -> None:
+    """Structured decision log for Algorithm 2: STC vs TTC per edge.
+
+    The "why" per tile is the comparison Algorithm 2 ends on — STC
+    exactly when the communication precision sits strictly below the
+    storage precision.  Per-tile detail only for NT ≤ 32.
+    """
+    if get_event_log() is None:  # keep the planning hot path free
+        return
+    n_stc = 0
+    n_total = 0
+    for i in range(cmap.nt):
+        for j in range(i + 1):
+            if i == j and i == cmap.nt - 1:
+                continue
+            n_total += 1
+            n_stc += int(cmap.is_stc(i, j))
+    attrs: dict[str, object] = {
+        "nt": cmap.nt,
+        "n_broadcasts": n_total,
+        "n_stc": n_stc,
+        "n_ttc": n_total - n_stc,
+        "stc_fraction": cmap.stc_fraction(),
+    }
+    if cmap.nt <= 32:
+        last = cmap.nt - 1
+        attrs["tiles"] = [
+            {
+                "tile": [i, j],
+                "storage": cmap.storage(i, j).name,
+                "comm": cmap.comm(i, j).name,
+                # POTRF(NT-1) issues no broadcast, so no conversion choice
+                "choice": ("none" if i == j == last
+                           else "stc" if cmap.is_stc(i, j) else "ttc"),
+            }
+            for i in range(cmap.nt)
+            for j in range(i + 1)
+        ]
+    emit_event("comm_map.built", attrs)

@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import emit_event, get_event_log
 from ..precision.formats import (
     ADAPTIVE_FORMATS,
     Precision,
@@ -147,13 +148,52 @@ def build_precision_map(
     rel = tile_norms * nt / global_norm
     # probe from narrowest to widest; the first qualifying format wins
     codes = np.full((nt, nt), -1, dtype=np.int8)
+    bounds: dict[str, float] = {}
     for prec in sorted(formats):
         bound = accuracy / rule_epsilon(prec)
+        bounds[prec.name] = bound
         qualify = rel <= bound
         codes[(codes == -1) & qualify] = int(prec)
     codes[codes == -1] = int(Precision.FP64)
     np.fill_diagonal(codes, int(Precision.FP64))
-    return KernelPrecisionMap(nt=nt, codes=codes)
+    kmap = KernelPrecisionMap(nt=nt, codes=codes)
+    _emit_map_decision(kmap, accuracy, bounds, rel)
+    return kmap
+
+
+def _emit_map_decision(
+    kmap: KernelPrecisionMap,
+    accuracy: float,
+    bounds: dict[str, float],
+    rel: np.ndarray,
+) -> None:
+    """Structured decision log: which tile got which precision and why.
+
+    The "why" is the Higham–Mary rule itself: a tile's relative norm
+    share against each format's ``u_req/u_low`` bound.  Per-tile detail
+    is only attached for small maps (NT ≤ 32) — at Fig. 7 scale the
+    summary fractions carry the same information at 1/NT² the size.
+    """
+    if get_event_log() is None:  # keep the planning hot path free
+        return
+    attrs: dict[str, object] = {
+        "nt": kmap.nt,
+        "accuracy": accuracy,
+        "rule_bounds": bounds,
+        "fractions": {p.name: f for p, f in sorted(kmap.tile_fractions().items(), reverse=True)},
+    }
+    if kmap.nt <= 32:
+        attrs["tiles"] = [
+            {
+                "tile": [i, j],
+                "kernel": kmap.kernel(i, j).name,
+                "storage": kmap.storage(i, j).name,
+                "rel_norm": float(rel[i, j]),
+            }
+            for i in range(kmap.nt)
+            for j in range(i + 1)
+        ]
+    emit_event("precision_map.built", attrs)
 
 
 def two_precision_map(nt: int, low: Precision) -> KernelPrecisionMap:

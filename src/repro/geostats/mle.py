@@ -10,11 +10,13 @@ optimisation tolerance of 1e-9.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.config import ConversionStrategy, MPConfig
+from ..obs import emit_event, get_registry, span
 from ..precision.formats import ADAPTIVE_FORMATS, Precision
 from .generator import Dataset
 from .likelihood import log_likelihood
@@ -88,31 +90,67 @@ def fit_mle(
     if x0 is None:
         x0 = tuple(lo for lo, _hi in bounds)
 
+    eval_timer = get_registry().timer("mle.eval_seconds", "log-likelihood evaluation time")
+    eval_seconds = [0.0]
+    eval_count = [0]
+
     def objective(theta: np.ndarray) -> float:
+        t0 = time.perf_counter()
         val = log_likelihood(dataset, theta, config).value
+        dt = time.perf_counter() - t0
+        eval_seconds[0] += dt
+        eval_count[0] += 1
+        eval_timer.observe(dt, accuracy=label)
         return val if math.isfinite(val) else -math.inf
 
-    res = maximize_bounded(objective, x0, bounds, xtol=xtol, ftol=xtol, max_evals=max_evals)
-    total_evals = res.n_evals
-    step = 0.05
-    for _ in range(max(0, restarts)):
-        again = maximize_bounded(
-            objective,
-            tuple(res.x),
-            bounds,
-            xtol=xtol,
-            ftol=xtol,
-            max_evals=max_evals,
-            initial_step=step,
+    # per-iteration telemetry: one structured record per simplex iteration
+    # (theta, log-likelihood, cumulative evaluation cost) — the restart
+    # sweeps share one monotonically increasing index
+    iteration_index = [0]
+
+    def on_iteration(_k: int, theta: np.ndarray, loglik: float) -> None:
+        iteration_index[0] += 1
+        emit_event(
+            "mle.iteration",
+            {
+                "k": iteration_index[0],
+                "theta": [float(v) for v in theta],
+                "loglik": float(loglik),
+                "n_evals": eval_count[0],
+                "eval_seconds": eval_seconds[0],
+            },
         )
-        total_evals += again.n_evals
-        improved = again.fun > res.fun + abs(res.fun) * 1e-12 + 1e-12
-        if again.fun >= res.fun:
-            res = again
-        if not improved:
-            break
-        step *= 0.5
-    res.n_evals = total_evals
+
+    with span("mle.fit", model=model.name, n=dataset.n, accuracy=label) as fit_span:
+        res = maximize_bounded(objective, x0, bounds, xtol=xtol, ftol=xtol,
+                               max_evals=max_evals, on_iteration=on_iteration)
+        total_evals = res.n_evals
+        step = 0.05
+        for _ in range(max(0, restarts)):
+            again = maximize_bounded(
+                objective,
+                tuple(res.x),
+                bounds,
+                xtol=xtol,
+                ftol=xtol,
+                max_evals=max_evals,
+                initial_step=step,
+                on_iteration=on_iteration,
+            )
+            total_evals += again.n_evals
+            improved = again.fun > res.fun + abs(res.fun) * 1e-12 + 1e-12
+            if again.fun >= res.fun:
+                res = again
+            if not improved:
+                break
+            step *= 0.5
+        res.n_evals = total_evals
+        fit_span.set(
+            theta_hat=[float(v) for v in res.x],
+            loglik=float(res.fun),
+            n_evals=total_evals,
+            converged=res.converged,
+        )
     return MLEResult(
         theta_hat=tuple(float(v) for v in res.x),
         loglik=res.fun,

@@ -51,6 +51,7 @@ def nelder_mead_bounded(
     initial_step: float = 0.25,
     keep_history: bool = False,
     restarts: int = 0,
+    on_iteration: Callable[[int, np.ndarray, float], None] | None = None,
 ) -> OptimizeResult:
     """Minimise ``f`` over a box with a projected Nelder–Mead simplex.
 
@@ -60,11 +61,17 @@ def nelder_mead_bounded(
     ``restarts`` re-seeds a fresh (smaller) simplex at the incumbent
     after convergence and continues while that improves the objective —
     the standard defence against premature simplex collapse.
+
+    ``on_iteration(k, x, fx)``, when given, is called once per simplex
+    iteration with the 1-based iteration index and the current best
+    vertex (``x`` is a copy; restarted runs keep their own counters).
+    Exceptions raised by the callback propagate to the caller.
     """
     if restarts > 0:
         res = nelder_mead_bounded(
             f, x0, bounds, xtol=xtol, ftol=ftol, max_evals=max_evals,
             initial_step=initial_step, keep_history=keep_history, restarts=0,
+            on_iteration=on_iteration,
         )
         total = res.n_evals
         step = initial_step / 4.0
@@ -72,6 +79,7 @@ def nelder_mead_bounded(
             again = nelder_mead_bounded(
                 f, tuple(res.x), bounds, xtol=xtol, ftol=ftol, max_evals=max_evals,
                 initial_step=step, keep_history=keep_history, restarts=0,
+                on_iteration=on_iteration,
             )
             total += again.n_evals
             improved = again.fun < res.fun - ftol * (1.0 + abs(res.fun))
@@ -133,6 +141,8 @@ def nelder_mead_bounded(
         simplex = [simplex[i] for i in order]
         values = [values[i] for i in order]
         best, worst = values[0], values[-1]
+        if on_iteration is not None:
+            on_iteration(n_iters, simplex[0].copy(), values[0])
 
         # convergence: simplex collapsed in x and f
         spread_x = max(np.max(np.abs(simplex[i] - simplex[0])) for i in range(1, ndim + 1))
@@ -191,7 +201,19 @@ def maximize_bounded(
     bounds: Sequence[tuple[float, float]],
     **kwargs,
 ) -> OptimizeResult:
-    """Maximise ``f`` (the log-likelihood) over a box."""
+    """Maximise ``f`` (the log-likelihood) over a box.
+
+    An ``on_iteration`` callback receives the *maximisation* objective
+    value (sign flipped back from the internal minimisation).
+    """
+    on_iteration = kwargs.pop("on_iteration", None)
+    if on_iteration is not None:
+        inner = on_iteration
+
+        def on_iteration_neg(k: int, x: np.ndarray, fx: float) -> None:
+            inner(k, x, -fx)
+
+        kwargs["on_iteration"] = on_iteration_neg
     res = nelder_mead_bounded(lambda x: -f(x), x0, bounds, **kwargs)
     res.fun = -res.fun
     res.history = [(x, -v) for x, v in res.history]

@@ -1,0 +1,72 @@
+"""repro.obs — unified telemetry for the whole stack.
+
+The paper's claims are measurements; this package is where the
+reproduction measures itself.  Four pieces, shared by every layer:
+
+* **metrics** (:mod:`repro.obs.metrics`) — a process-global registry of
+  labeled counters/gauges/histograms/timers (``get_registry()``);
+* **spans** (:mod:`repro.obs.spans`) — nested timing contexts
+  (``span("mle.fit", n=400)`` / ``@traced``) feeding the registry and
+  the event log;
+* **structured run logs** (:mod:`repro.obs.events`) — JSONL, one event
+  per line with run id + monotonic timestamp + span path; attach a sink
+  with ``event_log(path)`` and instrumented code lights up,
+  detach and the same call sites cost nothing;
+* **exporters + manifest** (:mod:`repro.obs.exporters`,
+  :mod:`repro.obs.manifest`) — Perfetto traces with counter tracks, CSV
+  dumps, JSON run summaries, and a deterministic per-run manifest
+  (config, seed, versions, git revision, platform).
+
+See ``docs/OBSERVABILITY.md`` for the capture-and-inspect workflow.
+"""
+
+from ._runtime import (
+    current_span_path,
+    emit_event,
+    event_log,
+    get_event_log,
+    get_registry,
+    reset_metrics,
+    set_event_log,
+)
+from .events import EventLog, iter_events, read_events
+from .exporters import (
+    run_summary,
+    trace_to_csv,
+    write_perfetto_trace,
+    write_run_summary,
+    write_trace_csv,
+)
+from .manifest import build_manifest, git_revision, write_manifest
+from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry, Timer
+from .spans import Span, span, traced
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Span",
+    "Timer",
+    "build_manifest",
+    "current_span_path",
+    "emit_event",
+    "event_log",
+    "get_event_log",
+    "get_registry",
+    "git_revision",
+    "iter_events",
+    "read_events",
+    "reset_metrics",
+    "run_summary",
+    "set_event_log",
+    "span",
+    "trace_to_csv",
+    "traced",
+    "write_manifest",
+    "write_perfetto_trace",
+    "write_run_summary",
+    "write_trace_csv",
+]

@@ -1,0 +1,113 @@
+"""Exporters: Perfetto traces, CSV event dumps, JSON run summaries.
+
+These sit on top of the simulator's :class:`~repro.runtime.tracing.TraceEvent`
+stream and the metrics registry, and are what ``repro simulate
+--trace-out/--metrics-out`` and ``repro report`` call into.  Runtime
+imports happen inside the functions so ``repro.obs`` stays a leaf
+package every layer may import without cycles.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = [
+    "trace_to_csv",
+    "run_summary",
+    "write_perfetto_trace",
+    "write_run_summary",
+    "write_trace_csv",
+]
+
+_CSV_FIELDS = (
+    "rank",
+    "engine",
+    "kind",
+    "t_start",
+    "t_end",
+    "duration",
+    "precision",
+    "bytes",
+    "flops",
+)
+
+
+def write_perfetto_trace(events: Sequence, path: str | Path, *, counters: bool = True) -> Path:
+    """Write a Perfetto/Chrome trace JSON with metadata + counter tracks."""
+    from ..runtime.gantt import to_chrome_trace
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_chrome_trace(events, counters=counters), encoding="utf-8")
+    return path
+
+
+def trace_to_csv(events: Sequence) -> str:
+    """Render the event stream as a flat CSV (one row per event)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(_CSV_FIELDS)
+    for ev in sorted(events, key=lambda e: (e.t_start, e.rank, e.engine)):
+        writer.writerow(
+            [
+                ev.rank,
+                ev.engine,
+                ev.kind,
+                repr(ev.t_start),
+                repr(ev.t_end),
+                repr(ev.duration),
+                ev.precision.name if ev.precision is not None else "",
+                ev.bytes,
+                repr(ev.flops),
+            ]
+        )
+    return buf.getvalue()
+
+
+def write_trace_csv(events: Sequence, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_to_csv(events), encoding="utf-8")
+    return path
+
+
+def run_summary(
+    *,
+    stats=None,
+    trace=None,
+    manifest: Mapping | None = None,
+    registry=None,
+) -> dict:
+    """Assemble the JSON-summary document of one run.
+
+    Any section may be omitted; ``registry`` defaults to the process
+    registry so a bare ``run_summary()`` still captures live metrics.
+    """
+    if registry is None:
+        from ._runtime import get_registry
+
+        registry = get_registry()
+    doc: dict[str, object] = {"schema": "repro.obs.run_summary/1"}
+    if manifest is not None:
+        doc["manifest"] = dict(manifest)
+    if stats is not None:
+        doc["stats"] = stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
+    if trace is not None:
+        doc["trace"] = trace.summary() if hasattr(trace, "summary") else dict(trace)
+    doc["metrics"] = registry.to_dict()
+    return doc
+
+
+def write_run_summary(path: str | Path, **kwargs) -> Path:
+    """Build :func:`run_summary` and write it as pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(run_summary(**kwargs), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

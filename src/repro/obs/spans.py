@@ -1,0 +1,105 @@
+"""Span instrumentation: nested timing contexts that feed metrics + logs.
+
+A *span* is one timed region of a run — a simulated factorization, one
+task execution, one MLE fit.  Spans nest per thread; the active path is
+slash-joined (``"mle.fit/simulate"``).  Closing a span
+
+* observes its wall time into the registry timer ``span.duration_seconds``
+  (labeled by span name), and
+* emits a ``"span"`` event to the active JSONL log (if any) carrying the
+  full path, duration, and user attributes.
+
+Use the :func:`span` context manager for ad-hoc regions and the
+:func:`traced` decorator for whole functions.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+from ._runtime import (
+    _pop_span,
+    _push_span,
+    current_span_path,
+    emit_event,
+    get_registry,
+)
+
+__all__ = ["Span", "span", "traced"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class Span:
+    """Handle yielded by :func:`span`; attributes may be added mid-flight."""
+
+    __slots__ = ("name", "path", "attrs", "duration")
+
+    def __init__(self, name: str, path: str, attrs: dict) -> None:
+        self.name = name
+        self.path = path
+        self.attrs = attrs
+        self.duration: float | None = None
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach extra attributes to the span's completion event."""
+        self.attrs.update(attrs)
+        return self
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Span]:
+    """Open a nested, timed span named ``name``.
+
+    ``attrs`` become the attributes of the emitted span event; the
+    measured duration is always appended as ``duration_seconds``.
+    """
+    parent = current_span_path()
+    path = f"{parent}/{name}" if parent else name
+    handle = Span(name, path, dict(attrs))
+    _push_span(path)
+    t0 = time.perf_counter()
+    error: str | None = None
+    try:
+        yield handle
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        duration = time.perf_counter() - t0
+        _pop_span()
+        handle.duration = duration
+        get_registry().timer(
+            "span.duration_seconds", "wall time of instrumented spans"
+        ).observe(duration, span=name)
+        payload = dict(handle.attrs)
+        payload["duration_seconds"] = duration
+        if error is not None:
+            payload["error"] = error
+        emit_event("span", payload, span=path)
+
+
+def traced(name: str | Callable | None = None, **attrs: object):
+    """Decorator form of :func:`span`.
+
+    Works bare (``@traced``) or parameterised
+    (``@traced("solver.plan", layer="core")``); the span name defaults to
+    the function's qualified name.
+    """
+
+    def decorate(fn: F, span_name: str | None = None) -> F:
+        label = span_name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    if callable(name):  # @traced with no parentheses
+        return decorate(name)
+    return lambda fn: decorate(fn, name)

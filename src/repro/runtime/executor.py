@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import span
 from ..precision.emulate import quantize
 from ..tiles import kernels as tk
 from ..tiles.tilematrix import TiledSymmetricMatrix
@@ -53,12 +54,19 @@ def execute_numeric(graph: TaskGraph, mat: TiledSymmetricMatrix) -> TiledSymmetr
                     tile = quantize(out.get(i, j), inp.storage_precision)
                     values[key] = tile
 
-    for tid in graph.topological_order():
-        task = graph.tasks[tid]
-        result = _run_task(task, values)
-        # store at the task's output (storage) precision
-        result = quantize(result, task.output_precision)
-        values[(task.output.i, task.output.j, task.output.version)] = result
+    with span("executor.sequential", n_tasks=len(graph)):
+        for tid in graph.topological_order():
+            task = graph.tasks[tid]
+            with span(
+                "task",
+                kind=task.kind,
+                tile=(task.output.i, task.output.j),
+                precision=task.precision.name,
+            ):
+                result = _run_task(task, values)
+                # store at the task's output (storage) precision
+                result = quantize(result, task.output_precision)
+            values[(task.output.i, task.output.j, task.output.version)] = result
 
     # collect the final version of every tile into the output matrix
     final: dict[tuple[int, int], tuple[int, np.ndarray]] = {}

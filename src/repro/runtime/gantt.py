@@ -76,10 +76,109 @@ def ascii_gantt(
     return "\n".join(lines) + f"\n[{legend}]"
 
 
-def to_chrome_trace(events: Sequence[TraceEvent]) -> str:
-    """Serialise the trace to Chrome/Perfetto trace-event JSON."""
-    out = []
+_TID = {"compute": 0, "h2d": 1, "d2h": 2, "nic": 3}
+
+
+def _counter_events(events: Sequence[TraceEvent]) -> list[dict]:
+    """Derive Perfetto counter tracks from the event stream.
+
+    Three derived counters per rank, sampled at every change point:
+
+    * ``gpu pool bytes`` — resident bytes in the GPU memory pool
+      (h2d LOADs add at completion, d2h EVICTs subtract at start);
+    * ``h2d inflight bytes`` / ``d2h inflight bytes`` — bytes currently
+      on the wire of each copy engine;
+    * ``conversions (cum)`` — running count of CONVERT compute events.
+    """
+    # (ts_us, rank, track, delta, cumulative?)
+    deltas: list[tuple[float, int, str, float]] = []
     for ev in events:
+        if ev.engine == "h2d":
+            deltas.append((ev.t_start * 1e6, ev.rank, "h2d inflight bytes", ev.bytes))
+            deltas.append((ev.t_end * 1e6, ev.rank, "h2d inflight bytes", -ev.bytes))
+            if ev.kind == "LOAD":
+                deltas.append((ev.t_end * 1e6, ev.rank, "gpu pool bytes", ev.bytes))
+        elif ev.engine == "d2h":
+            deltas.append((ev.t_start * 1e6, ev.rank, "d2h inflight bytes", ev.bytes))
+            deltas.append((ev.t_end * 1e6, ev.rank, "d2h inflight bytes", -ev.bytes))
+            if ev.kind == "EVICT":
+                deltas.append((ev.t_start * 1e6, ev.rank, "gpu pool bytes", -ev.bytes))
+        elif ev.engine == "compute" and ev.kind == "CONVERT":
+            deltas.append((ev.t_end * 1e6, ev.rank, "conversions (cum)", 1))
+    running: dict[tuple[int, str], float] = {}
+    out: list[dict] = []
+    for ts, rank, track, delta in sorted(deltas, key=lambda d: (d[0], d[1], d[2])):
+        value = running.get((rank, track), 0.0) + delta
+        running[(rank, track)] = value
+        out.append(
+            {
+                "name": track,
+                "ph": "C",
+                "ts": ts,
+                "pid": rank,
+                "args": {"value": value},
+            }
+        )
+    return out
+
+
+def _metadata_events(events: Sequence[TraceEvent]) -> list[dict]:
+    """Process/thread naming so Perfetto shows "rank N" / engine rows."""
+    ranks = sorted({ev.rank for ev in events})
+    rows = sorted({(ev.rank, ev.engine) for ev in events})
+    out: list[dict] = []
+    for rank in ranks:
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        out.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": rank,
+                "args": {"sort_index": rank},
+            }
+        )
+    for rank, engine in rows:
+        tid = _TID.get(engine, 4)
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": rank,
+                "tid": tid,
+                "args": {"name": engine},
+            }
+        )
+        out.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": rank,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return out
+
+
+def to_chrome_trace(events: Sequence[TraceEvent], *, counters: bool = False) -> str:
+    """Serialise the trace to Chrome/Perfetto trace-event JSON.
+
+    Slice events come first, sorted by timestamp (stable output for
+    diffing); ``counters=True`` appends the derived counter tracks
+    (memory-pool occupancy, in-flight copy bytes, cumulative
+    conversions); process/thread metadata events close the stream so
+    Perfetto labels every row.
+    """
+    ordered = sorted(events, key=lambda e: (e.t_start, e.rank, _TID.get(e.engine, 4)))
+    out = []
+    for ev in ordered:
         out.append(
             {
                 "name": ev.kind,
@@ -88,7 +187,7 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> str:
                 "ts": ev.t_start * 1e6,  # microseconds
                 "dur": max(ev.t_end - ev.t_start, 0.0) * 1e6,
                 "pid": ev.rank,
-                "tid": {"compute": 0, "h2d": 1, "d2h": 2, "nic": 3}.get(ev.engine, 4),
+                "tid": _TID.get(ev.engine, 4),
                 "args": {
                     "precision": ev.precision.name if ev.precision is not None else "",
                     "bytes": ev.bytes,
@@ -96,6 +195,9 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> str:
                 },
             }
         )
+    if counters:
+        out.extend(_counter_events(ordered))
+    out.extend(_metadata_events(ordered))
     return json.dumps({"traceEvents": out, "displayTimeUnit": "ms"})
 
 

@@ -22,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..obs import span, traced
 from ..tiles.tilematrix import TiledSymmetricMatrix
 from .executor import _run_task
 from .task import TaskGraph
@@ -29,6 +30,7 @@ from .task import TaskGraph
 __all__ = ["execute_numeric_parallel"]
 
 
+@traced("executor.parallel")
 def execute_numeric_parallel(
     graph: TaskGraph,
     mat: TiledSymmetricMatrix,
@@ -67,7 +69,13 @@ def execute_numeric_parallel(
     def run_one(tid: int) -> None:
         task = graph.tasks[tid]
         try:
-            result = quantize(_run_task(task, values), task.output_precision)
+            with span(
+                "task",
+                kind=task.kind,
+                tile=(task.output.i, task.output.j),
+                precision=task.precision.name,
+            ):
+                result = quantize(_run_task(task, values), task.output_precision)
         except BaseException as exc:  # propagate through the pool
             with lock:
                 errors.append(exc)

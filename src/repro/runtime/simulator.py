@@ -34,6 +34,7 @@ import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..obs import emit_event, get_registry, traced
 from ..perfmodel.kernels import conversion_time, kernel_time
 from ..perfmodel.transfers import h2d_time
 from ..precision.formats import Precision, bytes_per_element
@@ -108,6 +109,7 @@ def _payload_bytes(inp: TaskInput) -> int:
     return inp.elements * bytes_per_element(inp.payload_precision)
 
 
+@traced("sim.run")
 def simulate(
     graph: TaskGraph,
     platform: Platform,
@@ -120,7 +122,15 @@ def simulate(
 
     ``nb`` is the tile edge used to price kernels and conversions (ragged
     edge tiles are priced as full tiles — a ≤1/NT relative error).
+
+    Telemetry: runs inside a ``sim.run`` span; eviction/conversion
+    counters tick live and per-engine busy time, byte totals, and the
+    makespan land in the :mod:`repro.obs` registry at completion.
     """
+    registry = get_registry()
+    evictions_metric = registry.counter("sim.evictions", "dirty/unrecoverable LRU evictions")
+    conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
+    busy: dict[str, float] = {"compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0}
     gpu = platform.gpu
     n_ranks = platform.n_ranks
     n_nodes = platform.n_nodes
@@ -159,6 +169,8 @@ def simulate(
         host_ready[node][key] = end
         stats.d2h_bytes += nbytes
         stats.n_evictions += 1
+        busy["d2h"] += end - start
+        evictions_metric.inc()
         record(TraceEvent(rank, "d2h", "EVICT", start, end, key[3], nbytes))
 
     def _stage_to_host(dest_node: int, key: _Key, nbytes: int, now: float) -> float:
@@ -179,6 +191,7 @@ def simulate(
             d2h_free[src_rank] = end
             host_ready[src_node][key] = end
             stats.d2h_bytes += nbytes
+            busy["d2h"] += end - start
             record(TraceEvent(src_rank, "d2h", "STAGE", start, end, key[3], nbytes))
         if src_node == dest_node:
             return host_ready[src_node][key]
@@ -188,6 +201,7 @@ def simulate(
         nic_free[src_node] = end
         host_ready[dest_node][key] = end
         stats.nic_bytes += nbytes
+        busy["nic"] += end - start
         record(
             TraceEvent(
                 platform.node.gpus_per_node * src_node, "nic", "SEND", start, end, key[3], nbytes
@@ -213,6 +227,7 @@ def simulate(
             _writeback(rank, ev_key, ev_bytes, now)
             gpu_ready[rank].pop(ev_key, None)
         stats.add_h2d(inp.payload_precision, nbytes)
+        busy["h2d"] += end - start
         record(TraceEvent(rank, "h2d", "LOAD", start, end, inp.payload_precision, nbytes))
         return end
 
@@ -287,6 +302,9 @@ def simulate(
         stats.n_conversions += n_conv
         stats.conversion_seconds += conv_seconds
         stats.n_tasks += 1
+        busy["compute"] += end - start
+        if n_conv:
+            conversions_metric.inc(n_conv)
 
         # output materialises on this GPU
         out_bytes = nb * nb * bytes_per_element(task.output_precision)
@@ -319,4 +337,30 @@ def simulate(
 
     makespan = max(task_end, default=0.0)
     stats.makespan = makespan
+
+    registry.counter("sim.tasks", "tasks executed by the simulator").inc(stats.n_tasks)
+    busy_metric = registry.counter("sim.busy_seconds", "engine busy time")
+    for engine, seconds in busy.items():
+        if seconds > 0.0:
+            busy_metric.inc(seconds, engine=engine)
+    bytes_metric = registry.counter("sim.bytes_moved", "bytes moved per link")
+    for precision, nbytes in stats.h2d_bytes_by_precision.items():
+        bytes_metric.inc(nbytes, link="h2d", precision=precision.name)
+    if stats.d2h_bytes:
+        bytes_metric.inc(stats.d2h_bytes, link="d2h")
+    if stats.nic_bytes:
+        bytes_metric.inc(stats.nic_bytes, link="nic")
+    registry.gauge("sim.makespan_seconds", "makespan of the last run").set(makespan)
+    emit_event(
+        "sim.complete",
+        {
+            "n_tasks": stats.n_tasks,
+            "makespan_seconds": makespan,
+            "tflops": stats.tflops,
+            "h2d_bytes": stats.h2d_bytes,
+            "nic_bytes": stats.nic_bytes,
+            "n_conversions": stats.n_conversions,
+            "n_evictions": stats.n_evictions,
+        },
+    )
     return SimReport(makespan=makespan, stats=stats, trace=trace, task_end=task_end)

@@ -75,6 +75,28 @@ class RunStats:
             self.h2d_bytes_by_precision.get(precision, 0) + nbytes
         )
 
+    def to_dict(self) -> dict:
+        """Serialise every counter to plain JSON-ready types."""
+        return {
+            "makespan_seconds": self.makespan,
+            "total_flops": self.total_flops,
+            "gflops": self.gflops,
+            "tflops": self.tflops,
+            "flops_by_precision": {
+                p.name: v for p, v in sorted(self.flops_by_precision.items(), reverse=True)
+            },
+            "h2d_bytes": self.h2d_bytes,
+            "h2d_bytes_by_precision": {
+                p.name: v for p, v in sorted(self.h2d_bytes_by_precision.items(), reverse=True)
+            },
+            "d2h_bytes": self.d2h_bytes,
+            "nic_bytes": self.nic_bytes,
+            "n_conversions": self.n_conversions,
+            "conversion_seconds": self.conversion_seconds,
+            "n_tasks": self.n_tasks,
+            "n_evictions": self.n_evictions,
+        }
+
 
 @dataclass
 class Trace:
@@ -95,3 +117,22 @@ class Trace:
             for e in self.events
             if e.engine == engine and (rank is None or e.rank == rank)
         )
+
+    def summary(self) -> dict:
+        """Serialisable digest of the trace (feeds JSON export/report)."""
+        by_engine: dict[str, float] = {}
+        by_kind: dict[str, int] = {}
+        for ev in self.events:
+            by_engine[ev.engine] = by_engine.get(ev.engine, 0.0) + max(0.0, ev.duration)
+            by_kind[ev.kind] = by_kind.get(ev.kind, 0) + 1
+        makespan = self.stats.makespan
+        if makespan <= 0.0 and self.events:
+            makespan = max(e.t_end for e in self.events)
+        return {
+            "n_events": len(self.events),
+            "n_ranks": len({e.rank for e in self.events}),
+            "makespan_seconds": makespan,
+            "busy_seconds_by_engine": dict(sorted(by_engine.items())),
+            "events_by_kind": dict(sorted(by_kind.items())),
+            "stats": self.stats.to_dict(),
+        }

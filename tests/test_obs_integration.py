@@ -1,0 +1,208 @@
+"""End-to-end telemetry: instrumented hot paths, CLI capture, report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.geostats import SyntheticField, fit_mle
+from repro.geostats.optimizer import maximize_bounded, nelder_mead_bounded
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    assert obs.get_event_log() is None
+    yield
+    obs.set_event_log(None)
+    obs.reset_metrics()
+
+
+class TestSimulatorMetrics:
+    def test_live_metrics_populated(self):
+        from repro.core import two_precision_map
+        from repro.core.solver import simulate_cholesky
+        from repro.perfmodel.gpus import V100
+        from repro.precision import Precision
+        from repro.runtime import Platform
+
+        obs.reset_metrics()
+        rep = simulate_cholesky(8 * 512, 512, two_precision_map(8, Precision.FP16),
+                                Platform.single_gpu(V100))
+        reg = obs.get_registry()
+        assert reg.counter("sim.tasks").value() == rep.stats.n_tasks
+        assert reg.counter("sim.conversions").value() == rep.stats.n_conversions
+        assert reg.counter("sim.busy_seconds").value(engine="compute") > 0.0
+        assert reg.counter("sim.bytes_moved").total() >= rep.stats.h2d_bytes
+        assert reg.gauge("sim.makespan_seconds").value() == pytest.approx(rep.makespan)
+        assert reg.timer("span.duration_seconds").count(span="sim.run") == 1
+
+
+class TestExecutorSpans:
+    def test_sequential_executor_emits_task_spans(self, tmp_path, tiled_96):
+        from repro.core import MPCholeskySolver, MPConfig
+
+        solver = MPCholeskySolver(MPConfig(accuracy=1e-6, tile_size=16))
+        with obs.event_log(tmp_path / "run.jsonl"):
+            solver.factorize_via_runtime(tiled_96)
+        events = obs.read_events(tmp_path / "run.jsonl")
+        tasks = [e for e in events if e["type"] == "span" and e["span"].endswith("/task")]
+        assert tasks, "expected per-task spans"
+        kinds = {e["attrs"]["kind"] for e in tasks}
+        assert {"POTRF", "TRSM", "SYRK", "GEMM"} <= kinds
+        assert all(e["span"].startswith("executor.sequential/") for e in tasks)
+
+    def test_parallel_executor_emits_task_spans(self, tmp_path, tiled_96):
+        from repro.core import MPCholeskySolver, MPConfig
+        from repro.runtime.parallel_executor import execute_numeric_parallel
+
+        solver = MPCholeskySolver(MPConfig(accuracy=1e-6, tile_size=16))
+        plan = solver.plan(tiled_96)
+        dag = solver._dag(tiled_96.n, tiled_96.nb, plan, None)
+        with obs.event_log(tmp_path / "run.jsonl"):
+            execute_numeric_parallel(dag.graph, tiled_96, n_threads=2)
+        events = obs.read_events(tmp_path / "run.jsonl")
+        task_spans = [e for e in events if e["type"] == "span" and e["span"] == "task"]
+        outer = [e for e in events if e["type"] == "span"
+                 and e["span"] == "executor.parallel"]
+        assert task_spans and outer
+        assert task_spans[0]["attrs"]["duration_seconds"] >= 0.0
+
+
+class TestOptimizerCallback:
+    def test_on_iteration_called_each_iteration(self):
+        seen = []
+
+        def quad(x):
+            return float((x[0] - 0.5) ** 2)
+
+        res = nelder_mead_bounded(
+            quad, [0.1], [(0.0, 1.0)], max_evals=60,
+            on_iteration=lambda k, x, fx: seen.append((k, x.copy(), fx)),
+        )
+        assert len(seen) == res.n_iters
+        assert [k for k, _x, _f in seen] == list(range(1, res.n_iters + 1))
+        # best-so-far objective values are non-increasing
+        fs = [f for _k, _x, f in seen]
+        assert all(b <= a + 1e-15 for a, b in zip(fs, fs[1:]))
+
+    def test_default_none_keeps_existing_behaviour(self):
+        def quad(x):
+            return float((x[0] - 0.5) ** 2)
+
+        a = nelder_mead_bounded(quad, [0.1], [(0.0, 1.0)], max_evals=60)
+        b = nelder_mead_bounded(quad, [0.1], [(0.0, 1.0)], max_evals=60,
+                                on_iteration=lambda *args: None)
+        assert a.n_evals == b.n_evals
+        assert a.fun == b.fun
+
+    def test_maximize_flips_sign_for_callback(self):
+        seen = []
+        maximize_bounded(
+            lambda x: -float((x[0] - 0.5) ** 2), [0.1], [(0.0, 1.0)], max_evals=40,
+            on_iteration=lambda k, x, fx: seen.append(fx),
+        )
+        # callback sees the maximisation objective (≤ 0, approaching 0)
+        assert all(f <= 1e-12 for f in seen)
+        assert seen[-1] >= seen[0]
+
+
+class TestMLEEvents:
+    def test_fit_emits_per_iteration_jsonl(self, tmp_path):
+        field = SyntheticField.matern_2d(n=64, variance=1.0, range_=0.1,
+                                         smoothness=0.5, seed=3)
+        ds = field.sample()
+        with obs.event_log(tmp_path / "mle.jsonl", run_id="mle-test"):
+            res = fit_mle(ds, accuracy=1e-4, max_evals=40, xtol=1e-5, restarts=0)
+        events = obs.read_events(tmp_path / "mle.jsonl")
+        iters = [e for e in events if e["type"] == "mle.iteration"]
+        assert iters, "expected mle.iteration events"
+        ks = [e["attrs"]["k"] for e in iters]
+        assert ks == list(range(1, len(ks) + 1))
+        last = iters[-1]["attrs"]
+        assert len(last["theta"]) == 3
+        assert last["n_evals"] > 0
+        assert last["eval_seconds"] > 0.0
+        assert all(e["span"] == "mle.fit" for e in iters)
+        # the fit span closes with the result attached
+        fit_spans = [e for e in events if e["type"] == "span" and e["span"] == "mle.fit"]
+        assert fit_spans and fit_spans[-1]["attrs"]["loglik"] == pytest.approx(res.loglik)
+        # planning decision logs rode along
+        assert any(e["type"] == "precision_map.built" for e in events)
+        assert any(e["type"] == "comm_map.built" for e in events)
+
+    def test_precision_decision_log_contents(self, tmp_path):
+        from repro.core import build_precision_map
+
+        norms = np.array([[10.0, 1e-7, 1e-9],
+                          [1e-7, 10.0, 1e-7],
+                          [1e-9, 1e-7, 10.0]])
+        with obs.event_log(tmp_path / "plan.jsonl"):
+            build_precision_map(norms, 1e-4)
+        events = obs.read_events(tmp_path / "plan.jsonl")
+        built = [e for e in events if e["type"] == "precision_map.built"]
+        assert len(built) == 1
+        attrs = built[0]["attrs"]
+        assert attrs["nt"] == 3
+        assert attrs["accuracy"] == 1e-4
+        assert "FP64" in attrs["fractions"]
+        tiles = {tuple(t["tile"]): t for t in attrs["tiles"]}
+        assert tiles[(0, 0)]["kernel"] == "FP64"
+        assert tiles[(2, 0)]["kernel"] != "FP64"
+        assert "rel_norm" in tiles[(1, 0)]
+
+
+class TestCliTelemetry:
+    def test_simulate_capture_and_report(self, tmp_path, capsys):
+        trace = tmp_path / "run.json"
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "run.jsonl"
+        assert main(["simulate", "--n", "4096", "--nb", "512",
+                     "--trace-out", str(trace), "--metrics-out", str(metrics),
+                     "--events-out", str(events), "--run-id", "cli-test"]) == 0
+        capsys.readouterr()
+
+        payload = json.loads(trace.read_text())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "C", "M"} <= phases  # slices, counters, metadata
+
+        doc = json.loads(metrics.read_text())
+        assert doc["manifest"]["run_id"] == "cli-test"
+        assert doc["manifest"]["command"] == "simulate"
+        assert doc["stats"]["n_tasks"] > 0
+        assert doc["trace"]["n_events"] > 0
+        assert "sim.tasks" in doc["metrics"]
+
+        recs = obs.read_events(events)
+        assert any(e["type"] == "sim.complete" for e in recs)
+        assert all(e["run_id"] == "cli-test" for e in recs)
+
+        assert main(["report", "--metrics", str(metrics), "--events", str(events),
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert "sim.busy_seconds" in out
+        assert "counter tracks" in out
+        assert "sim.complete" in out
+
+    def test_mle_events_out_flag(self, tmp_path, capsys):
+        events = tmp_path / "mle.jsonl"
+        assert main(["mle", "--model", "2d-matern", "--n", "64",
+                     "--accuracy", "1e-4", "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        recs = obs.read_events(events)
+        assert any(e["type"] == "mle.iteration" for e in recs)
+        assert main(["report", "--events", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "mle.iteration" in out
+        assert "last MLE iteration" in out
+
+    def test_report_without_inputs_errors(self, capsys):
+        assert main(["report"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_simulate_without_flags_unchanged(self, capsys):
+        assert main(["simulate", "--n", "4096", "--nb", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "Tflop/s" in out

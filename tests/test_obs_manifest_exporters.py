@@ -1,0 +1,145 @@
+"""Run manifests and the Perfetto/CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import two_precision_map
+from repro.core.solver import simulate_cholesky
+from repro.perfmodel.gpus import V100
+from repro.precision import Precision
+from repro.runtime import Platform
+from repro.runtime.gantt import to_chrome_trace
+from repro.runtime.tracing import TraceEvent
+
+
+@pytest.fixture(scope="module")
+def sim_report():
+    kmap = two_precision_map(6, Precision.FP16)
+    platform = Platform.single_gpu(V100)
+    return simulate_cholesky(6 * 512, 512, kmap, platform, record_events=True)
+
+
+class TestManifest:
+    def test_deterministic_under_fixed_inputs(self):
+        a = obs.build_manifest(run_id="r", command="simulate",
+                               config={"n": 1024, "seed": 7}, seed=7)
+        b = obs.build_manifest(run_id="r", command="simulate",
+                               config={"n": 1024, "seed": 7}, seed=7)
+        assert a == b
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_contents(self):
+        m = obs.build_manifest(command="mle", seed=3, config={"model": "2d-matern"})
+        assert m["command"] == "mle"
+        assert m["seed"] == 3
+        assert m["config"] == {"model": "2d-matern"}
+        assert m["versions"]["python"]
+        assert m["versions"]["numpy"]
+        assert m["versions"]["repro"]
+        assert m["platform"]["system"]
+        # this repo is a git checkout, so the revision must resolve
+        assert isinstance(m["git_revision"], str) and len(m["git_revision"]) == 40
+
+    def test_config_normalisation(self):
+        from repro.core.config import MPConfig
+
+        m = obs.build_manifest(config=MPConfig())
+        cfg = m["config"]
+        assert cfg["accuracy"] == MPConfig().accuracy
+        # enums become their names
+        assert all(isinstance(f, str) for f in cfg["formats"])
+
+    def test_write_manifest_round_trip(self, tmp_path):
+        m = obs.build_manifest(run_id="x", seed=0)
+        path = obs.write_manifest(tmp_path / "manifest.json", m)
+        assert json.loads(path.read_text()) == m
+
+
+class TestPerfettoExport:
+    def test_counter_tracks_present_and_valid(self, sim_report, tmp_path):
+        path = obs.write_perfetto_trace(sim_report.trace.events, tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "gpu pool bytes" in names
+        assert "h2d inflight bytes" in names
+        assert "conversions (cum)" in names
+        assert all("value" in e["args"] for e in counters)
+        # counter samples are time-sorted
+        ts = [e["ts"] for e in counters]
+        assert ts == sorted(ts)
+
+    def test_cumulative_conversions_track_convert_slices(self, sim_report):
+        payload = json.loads(to_chrome_trace(sim_report.trace.events, counters=True))
+        conv = [e for e in payload["traceEvents"]
+                if e.get("ph") == "C" and e["name"] == "conversions (cum)"]
+        n_convert_events = sum(1 for e in sim_report.trace.events if e.kind == "CONVERT")
+        assert conv[-1]["args"]["value"] == n_convert_events
+        # a task's conversions are merged into one CONVERT slice, so the
+        # track is a lower bound on the per-conversion counter
+        assert 0 < n_convert_events <= sim_report.stats.n_conversions
+        values = [e["args"]["value"] for e in conv]
+        assert values == sorted(values)  # cumulative ⇒ non-decreasing
+
+    def test_inflight_bytes_return_to_zero(self, sim_report):
+        payload = json.loads(to_chrome_trace(sim_report.trace.events, counters=True))
+        h2d = [e for e in payload["traceEvents"]
+               if e.get("ph") == "C" and e["name"] == "h2d inflight bytes"]
+        assert h2d[-1]["args"]["value"] == 0
+
+    def test_metadata_names_processes_and_threads(self, sim_report):
+        payload = json.loads(to_chrome_trace(sim_report.trace.events))
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        proc = [e for e in meta if e["name"] == "process_name"]
+        thread = [e for e in meta if e["name"] == "thread_name"]
+        assert proc and proc[0]["args"]["name"].startswith("rank ")
+        assert {e["args"]["name"] for e in thread} >= {"compute", "h2d"}
+
+
+class TestCsvAndSummary:
+    def test_csv_round_trip(self, tmp_path):
+        events = [
+            TraceEvent(0, "compute", "GEMM", 0.0, 1.0, Precision.FP16, 0, 64.0),
+            TraceEvent(1, "nic", "SEND", 0.5, 0.75, None, 512, 0.0),
+        ]
+        text = obs.trace_to_csv(events)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["kind"] == "GEMM" and rows[0]["precision"] == "FP16"
+        assert rows[1]["precision"] == "" and rows[1]["bytes"] == "512"
+        path = obs.write_trace_csv(events, tmp_path / "t.csv")
+        assert path.read_text() == text
+
+    def test_run_summary_sections(self, sim_report, tmp_path):
+        manifest = obs.build_manifest(run_id="s", command="simulate")
+        path = obs.write_run_summary(
+            tmp_path / "metrics.json",
+            stats=sim_report.stats,
+            trace=sim_report.trace,
+            manifest=manifest,
+        )
+        doc = json.loads(path.read_text())
+        assert doc["manifest"]["run_id"] == "s"
+        assert doc["stats"]["n_tasks"] == sim_report.stats.n_tasks
+        assert doc["trace"]["n_events"] == len(sim_report.trace.events)
+        assert "metrics" in doc
+
+    def test_stats_to_dict_is_json_ready(self, sim_report):
+        d = sim_report.stats.to_dict()
+        json.dumps(d)
+        assert d["n_tasks"] == sim_report.stats.n_tasks
+        assert d["h2d_bytes"] == sim_report.stats.h2d_bytes
+        assert all(isinstance(k, str) for k in d["flops_by_precision"])
+
+    def test_trace_summary(self, sim_report):
+        s = sim_report.trace.summary()
+        json.dumps(s)
+        assert s["n_events"] == len(sim_report.trace.events)
+        assert s["makespan_seconds"] == pytest.approx(sim_report.makespan)
+        assert "compute" in s["busy_seconds_by_engine"]
+        assert s["events_by_kind"]["POTRF"] == 6

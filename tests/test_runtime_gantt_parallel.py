@@ -38,10 +38,17 @@ class TestGantt:
     def test_chrome_trace_valid_json(self, sim_report):
         payload = json.loads(to_chrome_trace(sim_report.trace.events))
         events = payload["traceEvents"]
-        assert len(events) == len(sim_report.trace.events)
-        sample = events[0]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(sim_report.trace.events)
+        sample = slices[0]
         assert set(sample) >= {"name", "ph", "ts", "dur", "pid", "tid"}
-        assert all(e["dur"] >= 0 for e in events)
+        assert all(e["dur"] >= 0 for e in slices)
+        # slices are sorted by timestamp for stable output
+        assert [e["ts"] for e in slices] == sorted(e["ts"] for e in slices)
+        # process/thread naming metadata for Perfetto row labels
+        meta = {(e["name"], e.get("pid"), e.get("tid")) for e in events if e["ph"] == "M"}
+        assert ("process_name", 0, None) in meta
+        assert any(name == "thread_name" for name, _pid, _tid in meta)
 
     def test_utilisation(self, sim_report):
         util = engine_utilisation(sim_report.trace.events, sim_report.makespan)
