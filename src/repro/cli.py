@@ -5,6 +5,7 @@ Commands
 ``mle``       fit a synthetic dataset at one or more accuracy levels
 ``maps``      print the kernel/communication precision maps for an app
 ``simulate``  price a mixed-precision Cholesky on a simulated platform
+``sweep``     fan a grid of configurations across a process pool (cached)
 ``bench``     run one experiment driver (table/figure) and print its table
 ``info``      show the encoded GPU specifications (Table I)
 ``report``    summarise a captured run (metrics/manifest, events, trace)
@@ -73,6 +74,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv-out", default=None, metavar="PATH",
                    help="write the raw event trace as CSV")
     p.add_argument("--run-id", default=None, help="run identifier for logs/manifest")
+
+    p = sub.add_parser("sweep", help="run a campaign over a grid of configurations")
+    p.add_argument("--n", type=int, action="append", default=None,
+                   help="matrix size axis; repeatable (default: 4096)")
+    p.add_argument("--nb", type=int, action="append", default=None,
+                   help="tile size axis; repeatable (default: 512)")
+    p.add_argument("--config", action="append", default=None,
+                   choices=["FP64", "FP32", "FP64/FP16_32", "FP64/FP16", "adaptive"],
+                   help="kernel-precision configuration axis; repeatable (default: FP64)")
+    p.add_argument("--strategy", action="append", default=None,
+                   choices=["auto", "stc", "ttc"],
+                   help="conversion strategy axis; repeatable (default: auto)")
+    p.add_argument("--gpu", action="append", default=None,
+                   choices=["V100", "A100", "H100"],
+                   help="GPU model axis; repeatable (default: V100)")
+    p.add_argument("--gpus", type=int, action="append", default=None,
+                   help="GPUs-per-node axis; repeatable (default: 1)")
+    p.add_argument("--nodes", type=int, action="append", default=None,
+                   help="node-count axis; repeatable (default: 1)")
+    p.add_argument("--app", action="append", default=None,
+                   choices=["2d-sqexp", "2d-matern", "3d-sqexp"],
+                   help="application axis for adaptive configs (default: 2d-matern)")
+    p.add_argument("--accuracy", type=float, action="append", default=None,
+                   help="u_req axis for adaptive configs; repeatable")
+    p.add_argument("--seed", type=int, action="append", default=None,
+                   help="seed axis (adaptive norm sampling); repeatable (default: 0)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for cache misses (default: 1)")
+    p.add_argument("--cache-dir", default=".sweep-cache", metavar="DIR",
+                   help="per-run result cache (default: .sweep-cache)")
+    p.add_argument("--force", action="store_true",
+                   help="ignore cached results and re-run every point")
+    p.add_argument("--name", default="sweep", help="campaign name (BENCH_<name>.json)")
+    p.add_argument("--bench-out", default=None, metavar="DIR",
+                   help="write BENCH_<name>.json under DIR")
+    p.add_argument("--events-out", default=None, metavar="PATH",
+                   help="write sweep.run/sweep.complete events to a JSONL log")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write metrics + campaign manifest as JSON")
 
     p = sub.add_parser("report", help="summarise a captured run")
     p.add_argument("--metrics", default=None, metavar="PATH",
@@ -218,6 +258,44 @@ def _cmd_simulate(args) -> int:
             trace=rep.trace if record_events else None,
             manifest=manifest,
         )
+        print(f"  metrics → {args.metrics_out}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import contextlib
+
+    from . import obs
+    from .sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid.from_axes(
+        n=args.n or [4096],
+        nb=args.nb or [512],
+        config=args.config or ["FP64"],
+        strategy=args.strategy or ["auto"],
+        gpu=args.gpu or ["V100"],
+        gpus_per_node=args.gpus or [1],
+        n_nodes=args.nodes or [1],
+        app=args.app or ["2d-matern"],
+        accuracy=args.accuracy or [None],
+        seed=args.seed or [0],
+        name=args.name,
+    )
+    with contextlib.ExitStack() as stack:
+        if args.events_out:
+            stack.enter_context(obs.event_log(args.events_out))
+        result = run_sweep(
+            grid, workers=args.workers, cache_dir=args.cache_dir, force=args.force
+        )
+    print(result.table())
+    print(f"cache: {result.n_cache_hits}/{result.n_runs} hits "
+          f"({result.cache_hit_fraction * 100:.1f}%), dir {args.cache_dir}")
+    if args.bench_out:
+        path = result.write_bench_json(args.bench_out)
+        print(f"  bench   → {path}")
+    if args.metrics_out:
+        manifest = obs.build_manifest(command="sweep", config=vars(args))
+        obs.write_run_summary(args.metrics_out, manifest=manifest)
         print(f"  metrics → {args.metrics_out}")
     return 0
 
@@ -373,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
         "mle": _cmd_mle,
         "maps": _cmd_maps,
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "info": _cmd_info,
         "report": _cmd_report,

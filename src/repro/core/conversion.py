@@ -150,17 +150,23 @@ class CommPrecisionMap:
         return self.comm(i, j)
 
     # -- statistics -------------------------------------------------------
+    def _broadcast_mask(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lower-triangle indices of tiles that issue a broadcast."""
+        il, jl = np.tril_indices(self.nt)
+        # POTRF(NT-1) issues no broadcast
+        keep = ~((il == jl) & (il == self.nt - 1))
+        return il[keep], jl[keep]
+
+    def stc_counts(self) -> tuple[int, int]:
+        """(n_stc, n_broadcasts) over all communicating tiles."""
+        il, jl = self._broadcast_mask()
+        n_stc = int(np.count_nonzero(self.comm_codes[il, jl] < self.storage_codes[il, jl]))
+        return n_stc, int(il.size)
+
     def stc_fraction(self) -> float:
         """Fraction of communicating tiles that qualify for STC."""
-        total = 0
-        stc = 0
-        for i in range(self.nt):
-            for j in range(i + 1):
-                if i == j and i == self.nt - 1:
-                    continue  # POTRF(NT-1) issues no broadcast
-                total += 1
-                stc += int(self.is_stc(i, j))
-        return stc / total if total else 0.0
+        n_stc, total = self.stc_counts()
+        return n_stc / total if total else 0.0
 
     def render(self) -> str:
         """ASCII rendering of Fig. 4b (lowercase marks STC tiles)."""
@@ -179,16 +185,92 @@ class CommPrecisionMap:
                 g = glyph[self.comm(i, j)]
                 row.append(g.lower() if self.is_stc(i, j) else g)
             lines.append(" ".join(row))
-        legend = "D=FP64 S=FP32 H=FP16_32 Q=FP16; lowercase = STC"
+        # derive the legend from the glyph table so they cannot drift
+        legend = " ".join(f"{g}={p.name}" for p, g in glyph.items()) + "; lowercase = STC"
         return "\n".join(lines) + f"\n[{legend}]"
+
+
+#: code → storage-precision code, indexable by the Precision lattice rank
+_STORAGE_CODE_LUT = np.array(
+    [int(get_storage_precision(p)) for p in sorted(Precision)], dtype=np.int8
+)
 
 
 def build_comm_precision_map(kmap: KernelPrecisionMap) -> CommPrecisionMap:
     """Algorithm 2: derive the communication-precision map from Fig. 2a.
 
-    Complexity O(NT³) like the paper's pseudocode (each tile scans its
-    row/column successor set with early exit); the paper reports < 0.1 s
-    for all its experiments, and each tile's computation is independent.
+    Vectorized O(NT²) formulation of the paper's O(NT³) pseudocode.  The
+    scan with early exit that Algorithm 2 runs per tile computes, for
+    tile (m, k),
+
+        comm(m, k) = min(storage(m, k),
+                         max(kernel(m, k),                 # SYRK successor
+                             max_{k < n < m} kernel(m, n), # row broadcast
+                             max_{m < n} kernel(n, m)))    # column broadcast
+
+    The row term is a reversed cumulative max (suffix max) along each
+    lower-triangle row and the column term a per-column max of the
+    strictly-lower triangle, so the whole map falls out of three NumPy
+    scans.  Bit-identical to the reference loop implementation
+    (:func:`_build_comm_precision_map_loop`, asserted by property test).
+    """
+    nt = kmap.nt
+    codes = np.asarray(kmap.codes, dtype=np.int8)
+    comm = np.full((nt, nt), int(Precision.FP64), dtype=np.int8)
+    storage = np.full((nt, nt), int(Precision.FP64), dtype=np.int8)
+
+    # storage map: lower triangle from the kernel map, mirrored upward
+    s = _STORAGE_CODE_LUT[codes]
+    il, jl = np.tril_indices(nt)
+    storage[il, jl] = s[il, jl]
+    storage[jl, il] = s[il, jl]
+
+    # strictly-lower entries only; -1 sentinels sort below every code
+    strict_lower = np.tril(np.ones((nt, nt), dtype=bool), k=-1)
+    masked = np.where(strict_lower, codes, np.int8(-1))
+
+    # suffix max along rows: row_sfx[m, k] = max_{n ≥ k, n < m} kernel(m, n)
+    row_sfx = np.maximum.accumulate(masked[:, ::-1], axis=1)[:, ::-1]
+    # exclusive variant: max over k < n < m (shift left by one column)
+    row_succ = np.full((nt, nt), np.int8(-1), dtype=np.int8)
+    if nt > 1:
+        row_succ[:, :-1] = row_sfx[:, 1:]
+    # column max below the diagonal: col_succ[m] = max_{n > m} kernel(n, m)
+    col_succ = masked.max(axis=0) if nt else masked.diagonal()
+
+    # Diagonal tiles (k, k) operating POTRF(k, k): successors are the
+    # TRSMs of column k, which execute in FP64 only when their tile's
+    # kernel precision is FP64 (otherwise FP32 — the hardware TRSM floor).
+    diag = np.where(
+        col_succ == np.int8(int(Precision.FP64)),
+        np.int8(int(Precision.FP64)),
+        np.int8(int(Precision.FP32)),
+    )
+    if nt:
+        diag[-1] = np.int8(int(Precision.FP64))  # no successors; no broadcast
+    comm[np.arange(nt), np.arange(nt)] = diag
+
+    # Off-diagonal tiles (m, k) operating TRSM(m, k): the SYRK successor
+    # requires the tile's own kernel precision (see module docstring),
+    # the GEMM successors the row/column maxima, capped at storage.
+    io, jo = np.nonzero(strict_lower)
+    if io.size:
+        need = np.maximum(codes[io, jo], row_succ[io, jo])
+        need = np.maximum(need, col_succ[io])
+        comm[io, jo] = np.minimum(storage[io, jo], need)
+
+    cmap = CommPrecisionMap(nt=nt, comm_codes=comm, storage_codes=storage)
+    _emit_comm_decision(cmap)
+    return cmap
+
+
+def _build_comm_precision_map_loop(kmap: KernelPrecisionMap) -> CommPrecisionMap:
+    """Reference O(NT³) loop implementation of Algorithm 2.
+
+    Kept as the executable specification the vectorized
+    :func:`build_comm_precision_map` is property-tested against (and
+    benchmarked against in ``benchmarks/test_sweep_planning.py``).  Does
+    not emit telemetry.
     """
     nt = kmap.nt
     comm = np.full((nt, nt), int(Precision.FP64), dtype=np.int8)
@@ -199,9 +281,6 @@ def build_comm_precision_map(kmap: KernelPrecisionMap) -> CommPrecisionMap:
             storage[i, j] = int(get_storage_precision(kmap.kernel(i, j)))
             storage[j, i] = storage[i, j]
 
-    # Diagonal tiles (k, k) operating POTRF(k, k): successors are the
-    # TRSMs of column k, which execute in FP64 only when their tile's
-    # kernel precision is FP64 (otherwise FP32 — the hardware TRSM floor).
     for k in range(nt):
         prec = Precision.FP32
         for m in range(k + 1, nt):
@@ -243,9 +322,7 @@ def build_comm_precision_map(kmap: KernelPrecisionMap) -> CommPrecisionMap:
                 continue
             comm[m, k] = int(prec)
 
-    cmap = CommPrecisionMap(nt=nt, comm_codes=comm, storage_codes=storage)
-    _emit_comm_decision(cmap)
-    return cmap
+    return CommPrecisionMap(nt=nt, comm_codes=comm, storage_codes=storage)
 
 
 def _emit_comm_decision(cmap: CommPrecisionMap) -> None:
@@ -257,14 +334,7 @@ def _emit_comm_decision(cmap: CommPrecisionMap) -> None:
     """
     if get_event_log() is None:  # keep the planning hot path free
         return
-    n_stc = 0
-    n_total = 0
-    for i in range(cmap.nt):
-        for j in range(i + 1):
-            if i == j and i == cmap.nt - 1:
-                continue
-            n_total += 1
-            n_stc += int(cmap.is_stc(i, j))
+    n_stc, n_total = cmap.stc_counts()
     attrs: dict[str, object] = {
         "nt": cmap.nt,
         "n_broadcasts": n_total,

@@ -92,19 +92,18 @@ class KernelPrecisionMap:
         factorization's flops executed at each precision — the quantity
         that actually drives performance and energy.
         """
-        weights: dict[Precision, float] = {}
-        total = 0.0
-        for i in range(self.nt):
-            for j in range(i):
-                w = float(j) if j > 0 else 0.0
-                if w == 0.0:
-                    continue
-                prec = self.kernel(i, j)
-                weights[prec] = weights.get(prec, 0.0) + w
-                total += w
+        il, jl = np.tril_indices(self.nt, k=-1)
+        keep = jl > 0  # column j receives j GEMM updates; j = 0 receives none
+        codes = self.codes[il[keep], jl[keep]].astype(np.int64)
+        w = jl[keep].astype(np.float64)
+        total = float(w.sum())
         if total == 0.0:
             return {Precision.FP64: 1.0}
-        return {p: w / total for p, w in sorted(weights.items(), reverse=True)}
+        sums = np.bincount(codes, weights=w, minlength=len(Precision))
+        return {
+            Precision(int(c)): float(sums[c]) / total
+            for c in sorted(np.nonzero(sums)[0], reverse=True)
+        }
 
     def render(self) -> str:
         """ASCII heatmap of the kernel map (Fig. 2a / Fig. 7 style)."""
@@ -225,11 +224,10 @@ def band_precision_map(
     """
     if not band_widths:
         raise ValueError("band_widths must not be empty")
+    idx = np.arange(nt)
+    distance = np.abs(idx[:, None] - idx[None, :])
     codes = np.full((nt, nt), int(band_widths[-1][1]), dtype=np.int8)
     for dist, prec in reversed(band_widths):
-        for i in range(nt):
-            for j in range(nt):
-                if abs(i - j) <= dist:
-                    codes[i, j] = int(prec)
+        codes[distance <= dist] = int(prec)
     np.fill_diagonal(codes, int(Precision.FP64))
     return KernelPrecisionMap(nt=nt, codes=codes)

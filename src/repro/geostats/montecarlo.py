@@ -112,6 +112,14 @@ class MonteCarloStudy:
         return "\n".join(lines)
 
 
+def _fit_replica(payload: tuple) -> MLEResult:
+    """Fit one (replica, accuracy) cell; module-level so pools can pickle it."""
+    dataset, level, kwargs = payload
+    if level == "exact":
+        return fit_mle(dataset, exact=True, **kwargs)
+    return fit_mle(dataset, accuracy=float(level), **kwargs)
+
+
 def run_monte_carlo(
     synth: SyntheticField,
     accuracies: Sequence[float | str],
@@ -121,6 +129,7 @@ def run_monte_carlo(
     max_evals: int = 400,
     xtol: float = 1e-7,
     restarts: int = 1,
+    workers: int = 1,
 ) -> MonteCarloStudy:
     """Run the Fig. 5/6 pipeline for one field configuration.
 
@@ -128,6 +137,11 @@ def run_monte_carlo(
     ``"exact"`` (full-FP64 reference).  The paper uses 100 replicas of
     40,000 locations; defaults here are scaled for commodity hardware and
     can be raised via arguments.
+
+    ``workers > 1`` fans the (replica, accuracy) cells across the same
+    process pool the sweep engine uses (:func:`repro.sweep.make_pool`);
+    each fit is independent and deterministic, so the study is identical
+    to the sequential one regardless of worker count or completion order.
     """
     study = MonteCarloStudy(
         field_name=synth.model.name,
@@ -135,29 +149,28 @@ def run_monte_carlo(
         param_names=synth.model.param_names,
     )
     datasets = synth.replicas(replicas)
-    for level in accuracies:
-        for r, dataset in enumerate(datasets):
-            if level == "exact":
-                result: MLEResult = fit_mle(
-                    dataset, exact=True, tile_size=tile_size, max_evals=max_evals,
-                    xtol=xtol, restarts=restarts,
-                )
-            else:
-                result = fit_mle(
-                    dataset,
-                    accuracy=float(level),
-                    tile_size=tile_size,
-                    max_evals=max_evals,
-                    xtol=xtol,
-                    restarts=restarts,
-                )
-            study.estimates.append(
-                ReplicaEstimate(
-                    replica=r,
-                    accuracy_label=result.accuracy_label,
-                    theta_hat=result.theta_hat,
-                    loglik=result.loglik,
-                    n_evals=result.n_evals,
-                )
+    kwargs = dict(tile_size=tile_size, max_evals=max_evals, xtol=xtol, restarts=restarts)
+    cells = [
+        (level, r, dataset)
+        for level in accuracies
+        for r, dataset in enumerate(datasets)
+    ]
+    payloads = [(dataset, level, kwargs) for level, _r, dataset in cells]
+    if workers > 1 and len(payloads) > 1:
+        from ..sweep.pool import make_pool  # deferred: sweep sits above geostats
+
+        with make_pool(min(workers, len(payloads))) as pool:
+            fits = list(pool.map(_fit_replica, payloads))
+    else:
+        fits = [_fit_replica(p) for p in payloads]
+    for (_level, r, _dataset), result in zip(cells, fits):
+        study.estimates.append(
+            ReplicaEstimate(
+                replica=r,
+                accuracy_label=result.accuracy_label,
+                theta_hat=result.theta_hat,
+                loglik=result.loglik,
+                n_evals=result.n_evals,
             )
+        )
     return study

@@ -1,6 +1,6 @@
 """PaRSEC-like task runtime: DAG, PTG DSL, simulator, numeric executor."""
 
-from .distributed import execute_numeric_distributed
+from .distributed import execute_numeric_distributed, pick_mp_context
 from .dsl import TaskClassSpec, TaskInstance, unroll
 from .dtd import AccessMode, DataAccess, DTDRuntime
 from .executor import execute_numeric
@@ -31,6 +31,7 @@ __all__ = [
     "execute_numeric",
     "execute_numeric_distributed",
     "execute_numeric_parallel",
+    "pick_mp_context",
     "simulate",
     "to_chrome_trace",
     "unroll",

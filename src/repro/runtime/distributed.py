@@ -17,16 +17,20 @@ remote reads see sender-quantised payloads — exactly the sequential
 executor's semantics — the result is bit-identical to
 :func:`repro.runtime.executor.execute_numeric` (asserted in tests).
 
-Uses the ``fork`` start method (workers inherit the graph and the input
-matrix), so it is a faithful miniature of an SPMD MPI program rather
-than a literal MPI binding (mpi4py is unavailable offline; see
-DESIGN.md's substitution table).
+Prefers the ``fork`` start method (workers inherit the graph and the
+input matrix for free) and falls back to ``forkserver``/``spawn`` on
+platforms without ``fork`` — every payload crossing the process boundary
+is picklable, so all three methods compute identically.  It is a
+faithful miniature of an SPMD MPI program rather than a literal MPI
+binding (mpi4py is unavailable offline; see DESIGN.md's substitution
+table).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import time
 
 import numpy as np
 
@@ -36,9 +40,28 @@ from ..tiles.tilematrix import TiledSymmetricMatrix
 from .executor import _run_task
 from .task import TaskGraph
 
-__all__ = ["execute_numeric_distributed"]
+__all__ = ["execute_numeric_distributed", "pick_mp_context"]
 
-_TIMEOUT = 120.0
+_DEFAULT_TIMEOUT = 120.0
+#: start methods in preference order: cheapest/most-inheriting first
+_START_METHODS = ("fork", "forkserver", "spawn")
+
+
+def pick_mp_context() -> mp.context.BaseContext:
+    """The best available multiprocessing context for SPMD workers.
+
+    Prefers ``fork``, falls back to ``forkserver`` then ``spawn``;
+    raises a clear :class:`RuntimeError` when the platform supports no
+    usable start method (so callers can skip cleanly).
+    """
+    available = mp.get_all_start_methods()
+    for method in _START_METHODS:
+        if method in available:
+            return mp.get_context(method)
+    raise RuntimeError(
+        "no usable multiprocessing start method: platform offers "
+        f"{available or 'none'}, need one of {list(_START_METHODS)}"
+    )
 
 
 def _seed_values(graph: TaskGraph, mat: TiledSymmetricMatrix, rank: int) -> dict:
@@ -78,6 +101,7 @@ def _rank_main(
     mat: TiledSymmetricMatrix,
     inboxes,
     results,
+    timeout: float,
 ) -> None:
     try:
         values = _seed_values(graph, mat, rank)
@@ -87,7 +111,7 @@ def _rank_main(
 
         def recv(key: tuple[int, int, int, int]) -> np.ndarray:
             while key not in stash:
-                i, j, v, p, data = inbox.get(timeout=_TIMEOUT)
+                i, j, v, p, data = inbox.get(timeout=timeout)
                 stash[(i, j, v, p)] = data
             return stash[key]
 
@@ -130,14 +154,22 @@ def execute_numeric_distributed(
     graph: TaskGraph,
     mat: TiledSymmetricMatrix,
     n_ranks: int,
+    *,
+    timeout: float = _DEFAULT_TIMEOUT,
 ) -> TiledSymmetricMatrix:
     """Execute the graph numerically across ``n_ranks`` processes.
 
     ``graph`` must have been built for a process grid with exactly
     ``n_ranks`` ranks (task ``rank`` fields in ``[0, n_ranks)``).
+    ``timeout`` bounds every blocking wait (worker inbox reads and the
+    parent's result collection); a rank that dies without reporting is
+    detected within a fraction of a second and the whole execution fails
+    fast instead of letting survivors block out the timeout.
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be positive")
+    if timeout <= 0:
+        raise ValueError("timeout must be positive")
     used = {t.rank for t in graph}
     if used and max(used) >= n_ranks:
         raise ValueError(f"graph uses rank {max(used)} but only {n_ranks} ranks given")
@@ -147,23 +179,40 @@ def execute_numeric_distributed(
 
         return execute_numeric(graph, mat)
 
-    ctx = mp.get_context("fork")
+    ctx = pick_mp_context()
     inboxes = [ctx.Queue() for _ in range(n_ranks)]
     results = ctx.Queue()
     procs = [
-        ctx.Process(target=_rank_main, args=(r, graph, mat, inboxes, results))
+        ctx.Process(target=_rank_main, args=(r, graph, mat, inboxes, results, timeout))
         for r in range(n_ranks)
     ]
     for p in procs:
         p.start()
     out = mat.copy()
     error: str | None = None
+    pending = set(range(n_ranks))
+    deadline = time.monotonic() + timeout
     try:
-        for _ in range(n_ranks):
+        while pending and error is None:
             try:
-                rank, finals, err = results.get(timeout=_TIMEOUT)
-            except queue_mod.Empty as exc:
-                raise RuntimeError("distributed execution timed out") from exc
+                rank, finals, err = results.get(timeout=0.2)
+            except queue_mod.Empty:
+                # fail fast on a peer that died without posting a result
+                # (a rank that finished normally always posts first, so a
+                # non-zero exit of a pending rank means it was killed)
+                dead = [
+                    r for r in sorted(pending)
+                    if procs[r].exitcode is not None and procs[r].exitcode != 0
+                ]
+                if dead:
+                    codes = ", ".join(f"rank {r} exit {procs[r].exitcode}" for r in dead)
+                    error = f"peer rank(s) died without reporting: {codes}"
+                    break
+                if time.monotonic() > deadline:
+                    error = f"distributed execution timed out after {timeout:g} s"
+                    break
+                continue
+            pending.discard(rank)
             if err is not None:
                 # fail fast: peers may be blocked waiting on the failed rank
                 error = f"rank {rank}: {err}"

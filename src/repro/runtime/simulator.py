@@ -13,8 +13,10 @@ tracked through the memory hierarchy:
 * on another node → d2h, NIC message, h2d.
 
 Data is cached per GPU under an LRU policy keyed by
-``(tile, version, payload precision)``, with dirty evictions writing back
-through the d2h engine — this is what makes larger-than-GPU-memory
+``(tile, version, payload precision)``.  Every eviction is counted;
+evictions flush through the d2h engine when the entry is dirty or the
+host holds no copy of the key, while clean entries the host already
+holds are dropped for free — this is what makes larger-than-GPU-memory
 matrices stream, and what amplifies the byte savings of STC payloads.
 
 Datatype conversions are charged where the strategy puts them: once on
@@ -64,7 +66,13 @@ class SimReport:
 
 
 class _Lru:
-    """Byte-bounded LRU cache of payload keys on one GPU."""
+    """Byte-bounded LRU cache of payload keys on one GPU.
+
+    Eviction hands ``(key, bytes, dirty)`` back to the simulator, which
+    counts every eviction and writes back through the d2h engine only
+    when the entry is dirty or the host holds no copy; clean entries the
+    host already holds are dropped without traffic.
+    """
 
     def __init__(self, capacity: float) -> None:
         self.capacity = capacity
@@ -128,7 +136,7 @@ def simulate(
     makespan land in the :mod:`repro.obs` registry at completion.
     """
     registry = get_registry()
-    evictions_metric = registry.counter("sim.evictions", "dirty/unrecoverable LRU evictions")
+    evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
     conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
     busy: dict[str, float] = {"compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0}
     gpu = platform.gpu
@@ -158,19 +166,27 @@ def simulate(
     nic_bw = platform.node.nic_bandwidth
     nic_lat = platform.node.nic_latency
 
-    def _writeback(rank: int, key: _Key, nbytes: int, now: float) -> None:
-        """Flush an evicted entry to the host (dirty or unrecoverable)."""
+    def _writeback(rank: int, key: _Key, nbytes: int, dirty: bool, now: float) -> None:
+        """Account one eviction; flush to the host only when required.
+
+        Every eviction counts toward ``stats.n_evictions`` and the
+        ``sim.evictions`` metric.  The d2h transfer is charged only when
+        the host copy is actually missing or the entry is dirty; a clean
+        entry the host already holds is dropped for free.
+        """
         node = platform.node_of(rank)
-        if key in host_ready[node]:
+        stats.n_evictions += 1
+        evictions_metric.inc()
+        if key in host_ready[node] and not dirty:
             return
         start = max(d2h_free[rank], gpu_ready[rank].get(key, now))
         end = start + link_lat + nbytes / link_bw
         d2h_free[rank] = end
-        host_ready[node][key] = end
+        # keys are immutable per (tile, version, precision): an existing
+        # host copy stays valid, so keep its earlier availability time
+        host_ready[node].setdefault(key, end)
         stats.d2h_bytes += nbytes
-        stats.n_evictions += 1
         busy["d2h"] += end - start
-        evictions_metric.inc()
         record(TraceEvent(rank, "d2h", "EVICT", start, end, key[3], nbytes))
 
     def _stage_to_host(dest_node: int, key: _Key, nbytes: int, now: float) -> float:
@@ -223,8 +239,8 @@ def simulate(
         h2d_free[rank] = end
         gpu_ready[rank][key] = end
         caches[rank].insert(key, nbytes, dirty=False)
-        for ev_key, ev_bytes, _dirty in caches[rank].evict_until_fits(protect):
-            _writeback(rank, ev_key, ev_bytes, now)
+        for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
+            _writeback(rank, ev_key, ev_bytes, ev_dirty, now)
             gpu_ready[rank].pop(ev_key, None)
         stats.add_h2d(inp.payload_precision, nbytes)
         busy["h2d"] += end - start
@@ -319,8 +335,8 @@ def simulate(
             gpu_ready[rank][pay_key] = end
             caches[rank].insert(pay_key, pay_bytes, dirty=False)
             origin_rank[pay_key] = rank
-        for ev_key, ev_bytes, _dirty in caches[rank].evict_until_fits(protect):
-            _writeback(rank, ev_key, ev_bytes, end)
+        for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
+            _writeback(rank, ev_key, ev_bytes, ev_dirty, end)
             gpu_ready[rank].pop(ev_key, None)
 
         for succ in graph.successors(tid):

@@ -1,0 +1,354 @@
+"""The campaign engine: fan a sweep grid across worker processes.
+
+``run_sweep`` prices every :class:`~repro.sweep.grid.RunSpec` of a grid
+— planning the precision maps, simulating the factorization, collecting
+the counters the paper reports — and aggregates the results into a
+table plus a ``BENCH_*.json`` document for the perf trajectory.
+
+Two properties make large campaigns cheap:
+
+* **caching** — each spec's result is persisted under its deterministic
+  cache key (``<cache_dir>/<key>.json`` with the spec, the result, and
+  an obs manifest); re-running an unchanged grid reads every point back
+  and reports 100 % cache hits;
+* **parallelism** — cache misses fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (one simulator run
+  per process; the planner itself is vectorized, see
+  :func:`repro.core.conversion.build_comm_precision_map`).
+
+Telemetry goes through :mod:`repro.obs`: ``sweep.runs`` /
+``sweep.cache_hits`` / ``sweep.cache_misses`` counters, a
+``sweep.run_seconds`` timer, and ``sweep.run`` / ``sweep.complete``
+events when an event log is attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..obs import build_manifest, emit_event, get_registry, span
+from .grid import CACHE_SCHEMA, RunSpec, SweepGrid
+
+__all__ = ["SweepRun", "SweepResult", "run_sweep", "execute_spec"]
+
+#: columns of the aggregated results table (and the BENCH run metrics)
+TABLE_COLUMNS = (
+    "config", "strategy", "n", "nb", "platform",
+    "makespan_s", "tflops", "h2d_gb", "nic_gb", "n_conversions", "cached",
+)
+
+
+def execute_spec(spec_dict: dict) -> dict:
+    """Price one sweep point; module-level so worker processes can pickle it.
+
+    Returns a JSON-ready result dict: the simulator's counters plus the
+    planning statistics (STC fraction, tile fractions) and the wall-time
+    split between planning and simulation.
+    """
+    from ..core import (
+        ConversionStrategy,
+        build_comm_precision_map,
+        simulate_cholesky,
+        two_precision_map,
+        uniform_map,
+    )
+    from ..perfmodel import GPU_BY_NAME, NodeSpec
+    from ..precision import Precision
+    from ..runtime import Platform
+
+    spec = RunSpec.from_dict(spec_dict)
+    gpu = GPU_BY_NAME[spec.gpu]
+    node = NodeSpec("sweep", gpu, spec.gpus_per_node, 256e9, 25e9, 1.5e-6)
+    platform = Platform(node=node, n_nodes=spec.n_nodes)
+
+    t0 = time.perf_counter()
+    if spec.config == "adaptive":
+        from dataclasses import replace
+
+        from ..bench.apps import app_kernel_map, get_app
+
+        app = get_app(spec.app)
+        if spec.accuracy is not None:
+            app = replace(app, accuracy=spec.accuracy)
+        kmap = app_kernel_map(app, spec.n, spec.nb, samples_per_tile=32, seed=spec.seed)
+    else:
+        kmap = {
+            "FP64": lambda nt: uniform_map(nt, Precision.FP64),
+            "FP32": lambda nt: uniform_map(nt, Precision.FP32),
+            "FP64/FP16_32": lambda nt: two_precision_map(nt, Precision.FP16_32),
+            "FP64/FP16": lambda nt: two_precision_map(nt, Precision.FP16),
+        }[spec.config](spec.nt)
+    cmap = build_comm_precision_map(kmap)
+    plan_seconds = time.perf_counter() - t0
+
+    strategy = ConversionStrategy(spec.strategy)
+    t1 = time.perf_counter()
+    report = simulate_cholesky(
+        spec.n, spec.nb, kmap, platform,
+        strategy=strategy,
+        enforce_memory=spec.enforce_memory,
+        record_events=False,
+    )
+    sim_seconds = time.perf_counter() - t1
+
+    result = report.stats.to_dict()
+    result.update(
+        nt=spec.nt,
+        stc_fraction=cmap.stc_fraction(),
+        tile_fractions={p.name: f for p, f in sorted(kmap.tile_fractions().items(), reverse=True)},
+        plan_seconds=plan_seconds,
+        sim_seconds=sim_seconds,
+    )
+    return result
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """One completed sweep point: spec, cache key, result, provenance."""
+
+    spec: RunSpec
+    key: str
+    result: dict
+    cached: bool
+
+    def row(self) -> tuple:
+        """One row of the aggregated results table."""
+        plat = f"{self.spec.n_nodes}x{self.spec.gpus_per_node}x{self.spec.gpu}"
+        cfg = self.spec.config if self.spec.config != "adaptive" else f"adaptive({self.spec.app})"
+        return (
+            cfg,
+            self.spec.strategy,
+            self.spec.n,
+            self.spec.nb,
+            plat,
+            self.result["makespan_seconds"],
+            self.result["tflops"],
+            self.result["h2d_bytes"] / 1e9,
+            self.result["nic_bytes"] / 1e9,
+            self.result["n_conversions"],
+            "hit" if self.cached else "miss",
+        )
+
+
+@dataclass
+class SweepResult:
+    """Aggregated output of one campaign."""
+
+    name: str
+    runs: list[SweepRun] = field(default_factory=list)
+    axes: dict | None = None
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(1 for r in self.runs if r.cached)
+
+    @property
+    def n_cache_misses(self) -> int:
+        return self.n_runs - self.n_cache_hits
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        return self.n_cache_hits / self.n_runs if self.runs else 0.0
+
+    def table(self) -> str:
+        from ..bench.reporting import format_table
+
+        title = (f"sweep '{self.name}': {self.n_runs} runs, "
+                 f"{self.n_cache_hits} cache hits, {self.workers} worker(s), "
+                 f"{self.wall_seconds:.2f} s wall")
+        return format_table(TABLE_COLUMNS, [r.row() for r in self.runs], title=title)
+
+    def to_bench_json(self) -> dict:
+        """The ``BENCH_*.json`` document that feeds the perf trajectory."""
+        makespans = [r.result["makespan_seconds"] for r in self.runs]
+        tflops = [r.result["tflops"] for r in self.runs]
+        return {
+            "schema": "repro.bench/1",
+            "cache_schema": CACHE_SCHEMA,
+            "name": self.name,
+            "axes": self.axes,
+            "n_runs": self.n_runs,
+            "n_cache_hits": self.n_cache_hits,
+            "n_cache_misses": self.n_cache_misses,
+            "cache_hit_fraction": self.cache_hit_fraction,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "aggregates": {
+                "best_tflops": max(tflops, default=0.0),
+                "total_sim_makespan_seconds": sum(makespans),
+                "total_plan_seconds": sum(r.result.get("plan_seconds", 0.0) for r in self.runs),
+                "total_sim_seconds": sum(r.result.get("sim_seconds", 0.0) for r in self.runs),
+                "planned_tasks": sum(r.result.get("n_tasks", 0) for r in self.runs),
+            },
+            "runs": [
+                {
+                    "key": r.key,
+                    "cached": r.cached,
+                    "spec": r.spec.to_dict(),
+                    "metrics": r.result,
+                }
+                for r in self.runs
+            ],
+        }
+
+    def write_bench_json(self, out_dir: str | Path) -> Path:
+        """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in self.name)
+        path = out_dir / f"BENCH_{safe}.json"
+        path.write_text(json.dumps(self.to_bench_json(), indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.json"
+
+
+def _load_cached(cache_dir: Path, spec: RunSpec, key: str) -> dict | None:
+    """Read a cached result, rejecting schema drift or spec mismatch."""
+    path = _cache_path(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("schema") != CACHE_SCHEMA or doc.get("spec") != spec.to_dict():
+        return None
+    result = doc.get("result")
+    return result if isinstance(result, dict) else None
+
+
+def _store_cached(cache_dir: Path, spec: RunSpec, key: str, result: dict) -> None:
+    doc = {
+        "schema": CACHE_SCHEMA,
+        "key": key,
+        "spec": spec.to_dict(),
+        "result": result,
+        "manifest": build_manifest(
+            run_id=key, command="sweep.run", config=spec.to_dict(), seed=spec.seed
+        ),
+    }
+    path = _cache_path(cache_dir, key)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    tmp.replace(path)
+
+
+def run_sweep(
+    grid: SweepGrid | Sequence[RunSpec] | Iterable[RunSpec],
+    *,
+    workers: int = 1,
+    cache_dir: str | Path = ".sweep-cache",
+    force: bool = False,
+    name: str | None = None,
+) -> SweepResult:
+    """Execute a campaign: every grid point, cached and parallel.
+
+    ``workers > 1`` fans cache misses across a process pool; ``force``
+    ignores (and rewrites) existing cache entries.  Results keep the
+    grid's expansion order regardless of completion order.
+    """
+    if isinstance(grid, SweepGrid):
+        specs = grid.expand()
+        axes = grid.axes_dict()
+        sweep_name = name or grid.name
+    else:
+        specs = list(grid)
+        axes = None
+        sweep_name = name or "sweep"
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+
+    registry = get_registry()
+    runs_metric = registry.counter("sweep.runs", "sweep points priced (hits + misses)")
+    hits_metric = registry.counter("sweep.cache_hits", "sweep points served from cache")
+    misses_metric = registry.counter("sweep.cache_misses", "sweep points executed")
+    run_timer = registry.timer("sweep.run_seconds", "wall time per executed sweep point")
+
+    t_start = time.perf_counter()
+    keys = [spec.cache_key() for spec in specs]
+    results: dict[int, tuple[dict, bool]] = {}
+
+    with span("sweep.campaign", sweep=sweep_name, n_runs=len(specs), workers=workers):
+        # 1. serve everything the cache already holds; dedupe the rest so
+        #    each unique key runs exactly once even inside one grid
+        owner: dict[str, int] = {}  # key -> index that executes it
+        for idx, (spec, key) in enumerate(zip(specs, keys)):
+            cached = None if force else _load_cached(cache_dir, spec, key)
+            if cached is not None:
+                results[idx] = (cached, True)
+                hits_metric.inc()
+            elif key not in owner:
+                owner[key] = idx
+
+        # 2. execute the misses (one simulator run per unique key)
+        produced: dict[str, dict] = {}
+        unique = sorted(owner.values())
+        if unique:
+            payloads = [specs[i].to_dict() for i in unique]
+            if workers > 1 and len(unique) > 1:
+                from .pool import make_pool
+
+                with make_pool(min(workers, len(unique))) as pool:
+                    outputs = list(pool.map(execute_spec, payloads))
+            else:
+                outputs = [execute_spec(p) for p in payloads]
+            for i, result in zip(unique, outputs):
+                _store_cached(cache_dir, specs[i], keys[i], result)
+                produced[keys[i]] = result
+                misses_metric.inc()
+                run_timer.observe(result.get("plan_seconds", 0.0)
+                                  + result.get("sim_seconds", 0.0))
+        for idx in range(len(specs)):
+            if idx not in results:
+                # executed here (cached=False) or shared from the point
+                # that executed the same key (cached=True)
+                results[idx] = (produced[keys[idx]], owner[keys[idx]] != idx)
+
+        runs_metric.inc(len(specs))
+        sweep_runs = [
+            SweepRun(spec=specs[i], key=keys[i], result=results[i][0], cached=results[i][1])
+            for i in range(len(specs))
+        ]
+        wall = time.perf_counter() - t_start
+        out = SweepResult(
+            name=sweep_name, runs=sweep_runs, axes=axes, wall_seconds=wall, workers=workers
+        )
+        for run in sweep_runs:
+            emit_event(
+                "sweep.run",
+                {
+                    "key": run.key,
+                    "cached": run.cached,
+                    "label": run.spec.label,
+                    "makespan_seconds": run.result["makespan_seconds"],
+                    "tflops": run.result["tflops"],
+                },
+            )
+        emit_event(
+            "sweep.complete",
+            {
+                "name": sweep_name,
+                "n_runs": out.n_runs,
+                "n_cache_hits": out.n_cache_hits,
+                "cache_hit_fraction": out.cache_hit_fraction,
+                "wall_seconds": wall,
+            },
+        )
+    registry.gauge("sweep.cache_hit_fraction", "hit fraction of the last sweep").set(
+        out.cache_hit_fraction
+    )
+    return out

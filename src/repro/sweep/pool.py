@@ -1,0 +1,27 @@
+"""Process-pool plumbing shared by the campaign layers.
+
+One place decides how worker processes are started (fork where cheap,
+forkserver/spawn otherwise — see
+:func:`repro.runtime.distributed.pick_mp_context`) so the sweep engine
+and the Monte Carlo driver fan out identically on every platform.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ..runtime.distributed import pick_mp_context
+
+__all__ = ["make_pool"]
+
+
+def make_pool(workers: int) -> ProcessPoolExecutor:
+    """A :class:`ProcessPoolExecutor` on the best available start method.
+
+    Raises :class:`RuntimeError` (from :func:`pick_mp_context`) when the
+    platform supports no usable multiprocessing start method, so callers
+    can fall back to inline execution or skip cleanly.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return ProcessPoolExecutor(max_workers=workers, mp_context=pick_mp_context())

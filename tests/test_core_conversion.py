@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import ConversionStrategy
 from repro.core.conversion import (
+    _build_comm_precision_map_loop,
     accumulator_encoding,
     build_comm_precision_map,
     encoding_width,
@@ -150,10 +151,69 @@ class TestAlgorithmInvariants:
         out = cmap.render()
         assert "q" in out  # lowercase = STC FP16 payload
 
+    def test_render_legend_covers_every_glyph(self):
+        """Regression: the legend must name every format the glyph table
+        defines (TF32 and BF16_32 used to be omitted)."""
+        cmap = build_comm_precision_map(uniform_map(4, Precision.FP64))
+        legend = cmap.render().rsplit("[", 1)[1]
+        for prec in Precision:
+            assert prec.name in legend, f"{prec.name} missing from legend"
+
     def test_upper_triangle_access_rejected(self):
         cmap = build_comm_precision_map(uniform_map(4, Precision.FP64))
         with pytest.raises(IndexError):
             cmap.comm(0, 2)
+
+
+class TestVectorizedEquivalence:
+    """The NumPy suffix-max formulation is bit-identical to Algorithm 2's
+    reference loop implementation (same values, same dtype)."""
+
+    @given(st.integers(1, 24), st.integers(0, 10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_bit_identical_on_random_maps(self, nt, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.choice([int(p) for p in Precision], size=(nt, nt)).astype(np.int8)
+        codes = np.maximum(codes, codes.T)
+        np.fill_diagonal(codes, int(Precision.FP64))
+        kmap = KernelPrecisionMap(nt=nt, codes=codes)
+        fast = build_comm_precision_map(kmap)
+        ref = _build_comm_precision_map_loop(kmap)
+        assert np.array_equal(fast.comm_codes, ref.comm_codes)
+        assert np.array_equal(fast.storage_codes, ref.storage_codes)
+        assert fast.comm_codes.dtype == ref.comm_codes.dtype == np.int8
+        assert fast.storage_codes.dtype == ref.storage_codes.dtype == np.int8
+
+    @pytest.mark.parametrize("low", [Precision.FP32, Precision.FP16_32, Precision.FP16])
+    def test_bit_identical_on_extreme_maps(self, low):
+        for nt in (1, 2, 3, 8, 17):
+            kmap = two_precision_map(nt, low)
+            fast = build_comm_precision_map(kmap)
+            ref = _build_comm_precision_map_loop(kmap)
+            assert np.array_equal(fast.comm_codes, ref.comm_codes)
+            assert np.array_equal(fast.storage_codes, ref.storage_codes)
+
+    def test_bit_identical_on_adaptive_map(self, matern_cov_160):
+        from repro.tiles.norms import tile_norms
+
+        kmap = build_precision_map(tile_norms(matern_cov_160), 1e-6)
+        fast = build_comm_precision_map(kmap)
+        ref = _build_comm_precision_map_loop(kmap)
+        assert np.array_equal(fast.comm_codes, ref.comm_codes)
+
+    def test_stc_fraction_matches_loop_count(self):
+        """Vectorized stc_fraction equals the explicit per-tile count."""
+        kmap = random_kmap(13, 42)
+        cmap = build_comm_precision_map(kmap)
+        total = stc = 0
+        for i in range(cmap.nt):
+            for j in range(i + 1):
+                if i == j == cmap.nt - 1:
+                    continue
+                total += 1
+                stc += int(cmap.is_stc(i, j))
+        assert cmap.stc_counts() == (stc, total)
+        assert cmap.stc_fraction() == stc / total
 
 
 class TestRealisticMap:

@@ -143,6 +143,32 @@ class TestMemoryPressure:
         rep = _run(nt=8, enforce_memory=False)
         assert rep.stats.n_evictions == 0
 
+    def test_every_eviction_counted_free_drops_not_charged(self):
+        """Regression: ``n_evictions`` counts *all* evictions, while the
+        d2h engine (EVICT trace events) is only charged for entries whose
+        host copy is missing or stale.  Clean host-seeded tiles dropped
+        under pressure must therefore appear in the counter but not the
+        trace."""
+        tiny_gpu = GPUSpec(
+            name="tiny",
+            peak_flops=V100.peak_flops,
+            sustained_fraction=V100.sustained_fraction,
+            half_perf_size=V100.half_perf_size,
+            memory_bytes=8 * NB * NB,
+            memory_bandwidth=V100.memory_bandwidth,
+            host_link_bandwidth=V100.host_link_bandwidth,
+            host_link_latency=V100.host_link_latency,
+            tdp_watts=V100.tdp_watts,
+            compute_power_fraction=V100.compute_power_fraction,
+        )
+        rep = _run(nt=8, platform=_platform(gpu=tiny_gpu))
+        charged = [e for e in rep.trace.events if e.kind == "EVICT"]
+        assert rep.stats.n_evictions >= len(charged)
+        # the seeds loaded from host and evicted before any write are free
+        assert rep.stats.n_evictions > len(charged)
+        # and the charged ones are the only d2h-EVICT traffic
+        assert sum(e.bytes for e in charged) <= rep.stats.d2h_bytes
+
 
 class TestMultiGPU:
     def test_speedup_with_gpus(self):
