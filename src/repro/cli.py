@@ -14,6 +14,11 @@ Telemetry flags (see ``docs/OBSERVABILITY.md``): ``simulate`` takes
 ``--trace-out`` (Perfetto JSON with counter tracks), ``--metrics-out``
 (metrics + manifest + trace summary), and ``--events-out`` (JSONL);
 ``mle`` takes ``--events-out`` for per-iteration records.
+
+Resilience flags (see ``docs/RESILIENCE.md``): ``sweep`` takes
+``--max-retries`` (per-point retry with exponential backoff) and
+``--fault-plan`` (JSON :class:`repro.faults.FaultPlan` of scripted
+failures for testing the recovery paths).
 """
 
 from __future__ import annotations
@@ -106,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-run result cache (default: .sweep-cache)")
     p.add_argument("--force", action="store_true",
                    help="ignore cached results and re-run every point")
+    p.add_argument("--max-retries", type=int, default=0, metavar="N",
+                   help="re-attempts per crashed point, with exponential "
+                        "backoff (default: 0; see docs/RESILIENCE.md)")
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="JSON fault plan to inject scripted failures "
+                        "(repro.faults.FaultPlan; for resilience testing)")
     p.add_argument("--name", default="sweep", help="campaign name (BENCH_<name>.json)")
     p.add_argument("--bench-out", default=None, metavar="DIR",
                    help="write BENCH_<name>.json under DIR")
@@ -266,7 +277,12 @@ def _cmd_sweep(args) -> int:
     import contextlib
 
     from . import obs
+    from .faults import FaultPlan, RetryPolicy
     from .sweep import SweepGrid, run_sweep
+
+    retry_policy = (RetryPolicy(max_retries=args.max_retries)
+                    if args.max_retries > 0 else None)
+    fault_plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
 
     grid = SweepGrid.from_axes(
         n=args.n or [4096],
@@ -285,11 +301,14 @@ def _cmd_sweep(args) -> int:
         if args.events_out:
             stack.enter_context(obs.event_log(args.events_out))
         result = run_sweep(
-            grid, workers=args.workers, cache_dir=args.cache_dir, force=args.force
+            grid, workers=args.workers, cache_dir=args.cache_dir, force=args.force,
+            retry_policy=retry_policy, fault_plan=fault_plan,
         )
     print(result.table())
     print(f"cache: {result.n_cache_hits}/{result.n_runs} hits "
           f"({result.cache_hit_fraction * 100:.1f}%), dir {args.cache_dir}")
+    print(f"resilience: failed {result.n_failed}/{result.n_runs}, "
+          f"retries {result.total_retries}")
     if args.bench_out:
         path = result.write_bench_json(args.bench_out)
         print(f"  bench   → {path}")

@@ -1,0 +1,42 @@
+"""repro.faults — deterministic fault injection and retry.
+
+Production-scale runs lose ranks, drop messages, and straggle; this
+package makes those failures *schedulable* so the recovery paths of the
+execution layers are tested code instead of hope:
+
+* **fault plans** (:mod:`repro.faults.plan`) — a seeded, picklable
+  script of failures (:class:`FaultPlan` of :class:`FaultSpec`) that
+  :mod:`repro.runtime.distributed`, :mod:`repro.sweep.engine`, and
+  :mod:`repro.geostats.montecarlo` consult at their injection points,
+  with per-process runtime state in a :class:`FaultInjector`;
+* **retry** (:mod:`repro.faults.retry`) — :class:`RetryPolicy`
+  (exponential backoff, capped, seeded jitter) driven through
+  :func:`call_with_retry` / the :func:`retry` decorator.
+
+Everything reports through :mod:`repro.obs`: ``faults.injected``,
+``retry.attempts``, ``retry.gave_up`` counters and ``fault`` /
+``retry`` / ``retry.gave_up`` events.  See ``docs/RESILIENCE.md``.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FAULT_MODES,
+    FaultInjectedError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from .retry import RetryError, RetryPolicy, call_with_retry, retry
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_MODES",
+    "FaultInjectedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryError",
+    "RetryPolicy",
+    "call_with_retry",
+    "retry",
+]

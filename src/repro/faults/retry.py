@@ -1,0 +1,157 @@
+"""Retry with exponential backoff, deterministic jitter, and telemetry.
+
+The execution layers retry *transient* failures — a worker process that
+died on one sweep point, an injected blip from a
+:class:`~repro.faults.plan.FaultPlan`, a flaky replicate fit — with the
+classic policy: delay ``base * multiplier**k``, capped at ``max_delay``,
+plus seeded jitter so a fleet of workers does not retry in lock-step.
+Jitter is drawn from :class:`random.Random` keyed on ``(seed, attempt)``
+— the same policy produces the same delays on every run, which keeps
+recovery tests deterministic.
+
+Every retry increments ``retry.attempts`` (labeled by ``op``) and emits
+a ``retry`` event; exhausting the policy increments ``retry.gave_up``
+and emits ``retry.gave_up`` before the last exception propagates.
+Worker subprocesses pass ``use_metrics=False`` and report attempt counts
+back to the parent instead, so campaign telemetry is counted exactly
+once, in one registry.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Mapping
+
+from ..obs import emit_event, get_registry
+
+__all__ = ["RetryError", "RetryPolicy", "call_with_retry", "retry"]
+
+
+class RetryError(RuntimeError):
+    """Raised when a policy is exhausted; chains the last failure."""
+
+    def __init__(self, message: str, attempts: int, last: BaseException) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded, seeded jitter.
+
+    ``max_retries`` counts *re*-attempts: a policy with ``max_retries=2``
+    makes at most three calls.  ``jitter`` is the fraction of each delay
+    drawn uniformly at random (seeded) on top of the deterministic part.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must lie in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-attempt ``attempt`` (1-based), jitter included."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        base = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        frac = random.Random(f"retry:{self.seed}:{attempt}").random()
+        return base * (1.0 + self.jitter * frac)
+
+    def delays(self) -> list[float]:
+        """The full deterministic backoff schedule."""
+        return [self.delay(k) for k in range(1, self.max_retries + 1)]
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "RetryPolicy":
+        return cls(**dict(d))
+
+
+def call_with_retry(
+    fn: Callable,
+    policy: RetryPolicy | None = None,
+    *,
+    op: str = "call",
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    use_metrics: bool = True,
+) -> object:
+    """Call ``fn()`` under ``policy``; raise :class:`RetryError` when exhausted.
+
+    ``sleep`` is injectable so tests run the schedule against a fake
+    clock; ``on_retry(attempt, exc)`` observes each failure before the
+    backoff.  ``use_metrics=False`` silences the registry/event log (for
+    worker subprocesses whose telemetry the parent re-counts).
+    """
+    policy = policy or RetryPolicy()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempts > policy.max_retries:
+                if use_metrics:
+                    get_registry().counter(
+                        "retry.gave_up", "calls that exhausted their retry policy"
+                    ).inc(op=op)
+                    emit_event("retry.gave_up",
+                               {"op": op, "attempts": attempts, "error": repr(exc)})
+                raise RetryError(
+                    f"{op}: gave up after {attempts} attempt(s): {exc!r}",
+                    attempts=attempts,
+                    last=exc,
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempts, exc)
+            if use_metrics:
+                get_registry().counter(
+                    "retry.attempts", "re-attempts performed by retry policies"
+                ).inc(op=op)
+                emit_event("retry", {"op": op, "attempt": attempts, "error": repr(exc)})
+            sleep(policy.delay(attempts))
+
+
+def retry(
+    policy: RetryPolicy | None = None,
+    *,
+    op: str | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+) -> Callable:
+    """Decorator form of :func:`call_with_retry`."""
+
+    def decorate(fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return call_with_retry(
+                lambda: fn(*args, **kwargs),
+                policy,
+                op=op or fn.__qualname__,
+                retry_on=retry_on,
+            )
+
+        return wrapper
+
+    return decorate

@@ -15,10 +15,18 @@ from typing import Sequence
 
 import numpy as np
 
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
+from ..obs import emit_event, get_registry
 from .generator import SyntheticField
 from .mle import MLEResult, fit_mle
 
-__all__ = ["ReplicaEstimate", "BoxStats", "MonteCarloStudy", "run_monte_carlo"]
+__all__ = [
+    "ReplicaEstimate",
+    "ReplicaFailure",
+    "BoxStats",
+    "MonteCarloStudy",
+    "run_monte_carlo",
+]
 
 
 @dataclass(frozen=True)
@@ -30,6 +38,16 @@ class ReplicaEstimate:
     theta_hat: tuple[float, ...]
     loglik: float
     n_evals: int
+
+
+@dataclass(frozen=True)
+class ReplicaFailure:
+    """One (replica, accuracy) cell whose fit exhausted its retries."""
+
+    replica: int
+    accuracy_label: str
+    error: str
+    attempts: int
 
 
 @dataclass(frozen=True)
@@ -58,6 +76,7 @@ class MonteCarloStudy:
     theta_true: tuple[float, ...]
     param_names: tuple[str, ...]
     estimates: list[ReplicaEstimate] = field(default_factory=list)
+    failures: list[ReplicaFailure] = field(default_factory=list)
 
     def accuracy_labels(self) -> list[str]:
         seen: list[str] = []
@@ -120,6 +139,42 @@ def _fit_replica(payload: tuple) -> MLEResult:
     return fit_mle(dataset, accuracy=float(level), **kwargs)
 
 
+def _fit_replica_resilient(payload: tuple) -> dict:
+    """Fit one cell under retry + fault injection; never raises.
+
+    Returns an envelope ``{ok, result, attempts, faults, error}`` so one
+    crashed worker cannot sink the whole study (telemetry is re-counted
+    by the parent from the envelope — see
+    :func:`repro.sweep.engine._run_point` for the same pattern).
+    """
+    import time
+
+    dataset, level, kwargs, cell_label, retry_dict, plan_dict = payload
+    policy = (RetryPolicy.from_dict(retry_dict) if retry_dict
+              else RetryPolicy(max_retries=0))
+    injector = FaultInjector(plan_dict, use_metrics=False)
+    attempts = 0
+    fault_kinds: list[str] = []
+    last_err: BaseException | None = None
+    while attempts <= policy.max_retries:
+        attempts += 1
+        try:
+            fault = injector.point_fault(cell_label)
+            if fault is not None:
+                fault_kinds.append(fault.kind)
+                injector.raise_fault(fault, where=f"montecarlo:{cell_label}",
+                                     attempt=attempts)
+            result = _fit_replica((dataset, level, kwargs))
+            return {"ok": True, "result": result, "attempts": attempts,
+                    "faults": fault_kinds, "error": None}
+        except Exception as exc:
+            last_err = exc
+            if attempts <= policy.max_retries:
+                time.sleep(policy.delay(attempts))
+    return {"ok": False, "result": None, "attempts": attempts,
+            "faults": fault_kinds, "error": repr(last_err)}
+
+
 def run_monte_carlo(
     synth: SyntheticField,
     accuracies: Sequence[float | str],
@@ -130,6 +185,8 @@ def run_monte_carlo(
     xtol: float = 1e-7,
     restarts: int = 1,
     workers: int = 1,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | dict | None = None,
 ) -> MonteCarloStudy:
     """Run the Fig. 5/6 pipeline for one field configuration.
 
@@ -142,7 +199,15 @@ def run_monte_carlo(
     process pool the sweep engine uses (:func:`repro.sweep.make_pool`);
     each fit is independent and deterministic, so the study is identical
     to the sequential one regardless of worker count or completion order.
+
+    ``retry_policy`` re-fits a crashed (replica, accuracy) cell with
+    backoff; a cell that exhausts its retries lands in
+    ``study.failures`` instead of sinking the whole sweep.
+    ``fault_plan`` injects scripted failures into cells whose
+    ``"<label>:<replica>"`` identifier matches (see :mod:`repro.faults`).
     """
+    if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+        fault_plan = FaultPlan.from_dict(fault_plan)
     study = MonteCarloStudy(
         field_name=synth.model.name,
         theta_true=tuple(synth.theta),
@@ -155,22 +220,59 @@ def run_monte_carlo(
         for level in accuracies
         for r, dataset in enumerate(datasets)
     ]
-    payloads = [(dataset, level, kwargs) for level, _r, dataset in cells]
+    retry_dict = retry_policy.to_dict() if retry_policy else None
+    plan_dict = fault_plan.to_dict() if fault_plan else None
+
+    def cell_label(level, r: int) -> str:
+        # matches MLEResult.accuracy_label's format ("exact" / "1e-02")
+        return (level if level == "exact" else f"{float(level):.0e}") + f":{r}"
+
+    payloads = [
+        (dataset, level, kwargs, cell_label(level, r), retry_dict, plan_dict)
+        for level, r, dataset in cells
+    ]
     if workers > 1 and len(payloads) > 1:
         from ..sweep.pool import make_pool  # deferred: sweep sits above geostats
 
         with make_pool(min(workers, len(payloads))) as pool:
-            fits = list(pool.map(_fit_replica, payloads))
+            envelopes = list(pool.map(_fit_replica_resilient, payloads))
     else:
-        fits = [_fit_replica(p) for p in payloads]
-    for (_level, r, _dataset), result in zip(cells, fits):
-        study.estimates.append(
-            ReplicaEstimate(
-                replica=r,
-                accuracy_label=result.accuracy_label,
-                theta_hat=result.theta_hat,
-                loglik=result.loglik,
-                n_evals=result.n_evals,
+        envelopes = [_fit_replica_resilient(p) for p in payloads]
+
+    registry = get_registry()
+    for (level, r, _dataset), env in zip(cells, envelopes):
+        registry.counter(
+            "retry.attempts", "re-attempts performed by retry policies"
+        ).inc(max(0, env["attempts"] - 1), op="montecarlo.replica")
+        for kind in env["faults"]:
+            registry.counter(
+                "faults.injected", "faults fired from the active fault plan"
+            ).inc(kind=kind)
+        if env["ok"]:
+            result: MLEResult = env["result"]
+            study.estimates.append(
+                ReplicaEstimate(
+                    replica=r,
+                    accuracy_label=result.accuracy_label,
+                    theta_hat=result.theta_hat,
+                    loglik=result.loglik,
+                    n_evals=result.n_evals,
+                )
             )
-        )
+        else:
+            registry.counter(
+                "retry.gave_up", "calls that exhausted their retry policy"
+            ).inc(op="montecarlo.replica")
+            label = level if level == "exact" else f"{float(level):.0e}"
+            study.failures.append(
+                ReplicaFailure(
+                    replica=r,
+                    accuracy_label=label,
+                    error=env["error"],
+                    attempts=env["attempts"],
+                )
+            )
+            emit_event("montecarlo.replica_failed",
+                       {"replica": r, "accuracy": label,
+                        "attempts": env["attempts"], "error": env["error"]})
     return study

@@ -97,9 +97,17 @@ def power_trace(
         t0 = getattr(ev, "t_start")
         t1 = getattr(ev, "t_end")
         inc = _event_power(gpu, ev)
-        if inc <= 0.0:
+        if inc == 0.0:
+            # zero increment is a no-op; negative increments are real
+            # (a precision whose compute power sits below idle draws
+            # *less* than an idle board) and must subtract, not vanish
             continue
-        mask = (times >= t0) & (times < t1)
+        # half-open [t0, t1) so abutting events don't double-count at
+        # their shared boundary — except at the makespan, where the
+        # trace is closed so an event ending exactly there still shows
+        # in the final sample(s)
+        t1_eff = t1 if t1 < makespan else np.inf
+        mask = (times >= t0) & (times < t1_eff)
         watts[mask] += inc
     np.clip(watts, 0.0, gpu.tdp_watts * 1.1, out=watts)
     return [PowerSample(float(t), float(w)) for t, w in zip(times, watts)]

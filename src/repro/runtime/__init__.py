@@ -1,6 +1,6 @@
 """PaRSEC-like task runtime: DAG, PTG DSL, simulator, numeric executor."""
 
-from .distributed import execute_numeric_distributed, pick_mp_context
+from .distributed import DistributedReport, execute_numeric_distributed, pick_mp_context
 from .dsl import TaskClassSpec, TaskInstance, unroll
 from .dtd import AccessMode, DataAccess, DTDRuntime
 from .executor import execute_numeric
@@ -15,6 +15,7 @@ __all__ = [
     "AccessMode",
     "DTDRuntime",
     "DataAccess",
+    "DistributedReport",
     "Platform",
     "RunStats",
     "SimReport",

@@ -29,22 +29,76 @@ table).
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import signal
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults import FaultInjector, FaultPlan
+from ..obs import emit_event, get_registry
 from ..precision.emulate import quantize
 from ..precision.formats import Precision
 from ..tiles.tilematrix import TiledSymmetricMatrix
 from .executor import _run_task
 from .task import TaskGraph
 
-__all__ = ["execute_numeric_distributed", "pick_mp_context"]
+__all__ = [
+    "DistributedReport",
+    "execute_numeric_distributed",
+    "pick_mp_context",
+]
 
 _DEFAULT_TIMEOUT = 120.0
 #: start methods in preference order: cheapest/most-inheriting first
 _START_METHODS = ("fork", "forkserver", "spawn")
+#: how long an exited-but-silent rank gets to flush its result queue
+#: before the parent declares it dead (covers the exit-0 race where the
+#: feeder thread is still draining when the process object shows exited)
+_EXIT_GRACE = 1.0
+
+
+class _RollingDeadline:
+    """A timeout that bounds each *wait*, not the whole collection.
+
+    ``timeout`` promises that no single blocking wait outlasts it; every
+    received result refreshes the window.  A large grid whose results
+    trickle in therefore never times out spuriously — only genuine
+    silence for ``timeout`` seconds does.  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(self, timeout: float, clock=time.monotonic) -> None:
+        self.timeout = timeout
+        self._clock = clock
+        self.refresh()
+
+    def refresh(self) -> None:
+        self._expires = self._clock() + self.timeout
+
+    def expired(self) -> bool:
+        return self._clock() > self._expires
+
+    def remaining(self) -> float:
+        return max(0.0, self._expires - self._clock())
+
+
+@dataclass(frozen=True)
+class DistributedReport:
+    """Outcome of a resilient distributed execution.
+
+    ``degraded`` is True when rank loss forced the sequential re-execution
+    path (the result is then the sequential executor's, bit-identical to
+    a healthy distributed run); ``error`` records the failure that
+    triggered it; ``dead_ranks`` the ranks the parent declared dead.
+    """
+
+    matrix: TiledSymmetricMatrix
+    degraded: bool = False
+    error: str | None = None
+    dead_ranks: tuple[int, ...] = ()
 
 
 def pick_mp_context() -> mp.context.BaseContext:
@@ -95,6 +149,20 @@ def _consumer_plan(graph: TaskGraph) -> dict[int, list[tuple[int, Precision]]]:
     return plan
 
 
+def _die(spec) -> None:
+    """Carry out an armed ``kill_rank`` fault in this process."""
+    if spec.mode == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.mode == "exit0":
+        # exits "cleanly" without posting a result — exercises the
+        # parent's exited-but-pending detection, not just exitcode != 0
+        os._exit(0)
+    else:  # "exception": the rank reports its own failure
+        from ..faults import FaultInjectedError
+
+        raise FaultInjectedError(f"injected kill_rank (mode=exception): {spec.note}")
+
+
 def _rank_main(
     rank: int,
     graph: TaskGraph,
@@ -102,15 +170,20 @@ def _rank_main(
     inboxes,
     results,
     timeout: float,
+    fault_plan: dict | None = None,
 ) -> None:
     try:
+        injector = FaultInjector(fault_plan)
         values = _seed_values(graph, mat, rank)
         plan = _consumer_plan(graph)
         inbox = inboxes[rank]
         stash: dict[tuple[int, int, int, int], np.ndarray] = {}
+        n_sent = 0  # outbound payload counter for message faults
 
         def recv(key: tuple[int, int, int, int]) -> np.ndarray:
             while key not in stash:
+                # per-wait deadline: `timeout` bounds each blocking read,
+                # not the sum of all of them
                 i, j, v, p, data = inbox.get(timeout=timeout)
                 stash[(i, j, v, p)] = data
             return stash[key]
@@ -119,6 +192,10 @@ def _rank_main(
             task = graph.tasks[tid]
             if task.rank != rank:
                 continue
+            kill = injector.kill_at(rank, tid)
+            if kill is not None:
+                injector.fire(kill, rank=rank, task=tid)
+                _die(kill)
             # gather remote inputs
             for inp in task.inputs:
                 key3 = (inp.tile.i, inp.tile.j, inp.tile.version)
@@ -133,6 +210,13 @@ def _rank_main(
             values[out_key] = result
             # ship to remote consumers at each edge's wire precision
             for dest, prec in plan.get(tid, ()):
+                fault = injector.message_fault(rank, n_sent)
+                n_sent += 1
+                if fault is not None:
+                    injector.fire(fault, rank=rank, dest=dest, message=n_sent - 1)
+                    if fault.kind == "drop_message":
+                        continue  # the consumer will starve and time out
+                    time.sleep(fault.delay_s)
                 wire = quantize(result, prec)
                 inboxes[dest].put((*out_key, int(prec), wire))
 
@@ -156,15 +240,29 @@ def execute_numeric_distributed(
     n_ranks: int,
     *,
     timeout: float = _DEFAULT_TIMEOUT,
-) -> TiledSymmetricMatrix:
+    fault_plan: FaultPlan | dict | None = None,
+    degrade: bool = False,
+    return_report: bool = False,
+) -> TiledSymmetricMatrix | DistributedReport:
     """Execute the graph numerically across ``n_ranks`` processes.
 
     ``graph`` must have been built for a process grid with exactly
     ``n_ranks`` ranks (task ``rank`` fields in ``[0, n_ranks)``).
-    ``timeout`` bounds every blocking wait (worker inbox reads and the
-    parent's result collection); a rank that dies without reporting is
-    detected within a fraction of a second and the whole execution fails
-    fast instead of letting survivors block out the timeout.
+    ``timeout`` bounds every blocking wait — each worker inbox read and
+    each parent wait for the *next* result (the collection deadline is
+    refreshed whenever a rank reports, so trickling results never time
+    out spuriously).  Any pending rank that exits without posting a
+    result — crashed (non-zero exit) *or* silently gone (exit 0, e.g.
+    killed mid-queue-flush) — is declared dead within
+    ``_EXIT_GRACE`` seconds and the execution fails fast.
+
+    ``fault_plan`` injects scripted failures (see :mod:`repro.faults`);
+    ``degrade=True`` recovers from unrecoverable rank loss by
+    re-executing sequentially via
+    :func:`repro.runtime.executor.execute_numeric` (bit-identical to a
+    healthy distributed run) instead of raising; ``return_report=True``
+    returns a :class:`DistributedReport` carrying the matrix plus the
+    ``degraded`` flag, error, and dead ranks.
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be positive")
@@ -177,45 +275,68 @@ def execute_numeric_distributed(
     if n_ranks == 1:
         from .executor import execute_numeric
 
-        return execute_numeric(graph, mat)
+        out = execute_numeric(graph, mat)
+        return DistributedReport(matrix=out) if return_report else out
+
+    plan_dict = None
+    if fault_plan is not None:
+        plan = fault_plan if isinstance(fault_plan, FaultPlan) else FaultPlan.from_dict(fault_plan)
+        plan_dict = plan.to_dict()
 
     ctx = pick_mp_context()
     inboxes = [ctx.Queue() for _ in range(n_ranks)]
     results = ctx.Queue()
     procs = [
-        ctx.Process(target=_rank_main, args=(r, graph, mat, inboxes, results, timeout))
+        ctx.Process(
+            target=_rank_main,
+            args=(r, graph, mat, inboxes, results, timeout, plan_dict),
+        )
         for r in range(n_ranks)
     ]
     for p in procs:
         p.start()
     out = mat.copy()
     error: str | None = None
+    dead_ranks: tuple[int, ...] = ()
     pending = set(range(n_ranks))
-    deadline = time.monotonic() + timeout
+    deadline = _RollingDeadline(timeout)
+    exit_seen: dict[int, float] = {}  # rank -> when we first saw it exited
     try:
         while pending and error is None:
             try:
                 rank, finals, err = results.get(timeout=0.2)
             except queue_mod.Empty:
-                # fail fast on a peer that died without posting a result
-                # (a rank that finished normally always posts first, so a
-                # non-zero exit of a pending rank means it was killed)
-                dead = [
-                    r for r in sorted(pending)
-                    if procs[r].exitcode is not None and procs[r].exitcode != 0
-                ]
+                # fail fast on peers that exited without posting a result.
+                # A rank that finished normally posts *before* exiting, so
+                # any exited-but-pending rank is dead — crashed ranks
+                # (non-zero exit) immediately, clean exits (code 0, e.g.
+                # killed mid-queue-flush or returned early) after a short
+                # grace window that lets an in-flight queue flush land.
+                now = time.monotonic()
+                dead = []
+                for r in sorted(pending):
+                    code = procs[r].exitcode
+                    if code is None:
+                        continue
+                    if code != 0:
+                        dead.append(r)
+                    elif now - exit_seen.setdefault(r, now) > _EXIT_GRACE:
+                        dead.append(r)
                 if dead:
                     codes = ", ".join(f"rank {r} exit {procs[r].exitcode}" for r in dead)
                     error = f"peer rank(s) died without reporting: {codes}"
+                    dead_ranks = tuple(dead)
                     break
-                if time.monotonic() > deadline:
+                if deadline.expired():
                     error = f"distributed execution timed out after {timeout:g} s"
                     break
                 continue
             pending.discard(rank)
+            deadline.refresh()  # progress: `timeout` bounds each wait, not all
             if err is not None:
                 # fail fast: peers may be blocked waiting on the failed rank
                 error = f"rank {rank}: {err}"
+                dead_ranks = (rank,)
                 break
             for (i, j), data in finals.items():
                 out.set(i, j, data, precision=out.precision_of(i, j))
@@ -227,5 +348,26 @@ def execute_numeric_distributed(
             if p.is_alive():
                 p.terminate()
     if error is not None:
-        raise RuntimeError(error)
-    return out
+        registry = get_registry()
+        registry.counter(
+            "distributed.rank_deaths", "ranks the parent declared dead"
+        ).inc(len(dead_ranks) or 1)
+        emit_event("distributed.failure",
+                   {"error": error, "dead_ranks": list(dead_ranks)})
+        if not degrade:
+            raise RuntimeError(error)
+        # graceful degradation: the distributed protocol is bit-identical
+        # to the sequential executor, so re-running sequentially recovers
+        # the exact result the healthy run would have produced
+        registry.counter(
+            "distributed.degraded", "runs recovered via sequential re-execution"
+        ).inc()
+        from .executor import execute_numeric
+
+        seq = execute_numeric(graph, mat)
+        emit_event("distributed.degraded", {"error": error})
+        report = DistributedReport(
+            matrix=seq, degraded=True, error=error, dead_ranks=dead_ranks
+        )
+        return report if return_report else report.matrix
+    return DistributedReport(matrix=out) if return_report else out

@@ -16,8 +16,18 @@ Two properties make large campaigns cheap:
   per process; the planner itself is vectorized, see
   :func:`repro.core.conversion.build_comm_precision_map`).
 
+Campaigns are also **resilient** (see ``docs/RESILIENCE.md``): each
+point runs under a :class:`~repro.faults.RetryPolicy` (exponential
+backoff, seeded jitter), a point that exhausts its retries is recorded
+with ``failed=True`` instead of aborting the sweep, and unreadable or
+schema-invalid cache files are quarantined with a ``.corrupt`` suffix
+and treated as misses.  A :class:`~repro.faults.FaultPlan` injects
+scripted crashes for testing the recovery paths.
+
 Telemetry goes through :mod:`repro.obs`: ``sweep.runs`` /
-``sweep.cache_hits`` / ``sweep.cache_misses`` counters, a
+``sweep.cache_hits`` / ``sweep.cache_misses`` / ``sweep.cache_corrupt``
+/ ``sweep.failed`` counters, ``retry.attempts`` / ``retry.gave_up`` /
+``faults.injected`` counters from the resilience layer, a
 ``sweep.run_seconds`` timer, and ``sweep.run`` / ``sweep.complete``
 events when an event log is attached.
 """
@@ -30,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..obs import build_manifest, emit_event, get_registry, span
 from .grid import CACHE_SCHEMA, RunSpec, SweepGrid
 
@@ -38,7 +49,7 @@ __all__ = ["SweepRun", "SweepResult", "run_sweep", "execute_spec"]
 #: columns of the aggregated results table (and the BENCH run metrics)
 TABLE_COLUMNS = (
     "config", "strategy", "n", "nb", "platform",
-    "makespan_s", "tflops", "h2d_gb", "nic_gb", "n_conversions", "cached",
+    "makespan_s", "tflops", "h2d_gb", "nic_gb", "n_conversions", "cached", "failed",
 )
 
 
@@ -106,31 +117,77 @@ def execute_spec(spec_dict: dict) -> dict:
     return result
 
 
+def _run_point(payload: dict) -> dict:
+    """Execute one sweep point under retry + fault injection; never raises.
+
+    Module-level so worker processes can pickle it.  Returns an envelope
+    — ``{ok, result, attempts, faults, error}`` — rather than raising,
+    so one poisoned point cannot abort the campaign (or, through a
+    :class:`~concurrent.futures.process.BrokenProcessPool`, sink every
+    other in-flight point).  Telemetry is *not* written here: the parent
+    re-counts attempts and fault kinds from the envelope so campaign
+    metrics land exactly once, in one registry.
+    """
+    policy = (RetryPolicy.from_dict(payload["retry"]) if payload.get("retry")
+              else RetryPolicy(max_retries=0))
+    injector = FaultInjector(payload.get("fault_plan"), use_metrics=False)
+    key, label = payload["key"], payload["label"]
+    attempts = 0
+    fault_kinds: list[str] = []
+    last_err: BaseException | None = None
+    while attempts <= policy.max_retries:
+        attempts += 1
+        try:
+            fault = injector.point_fault(key, label)
+            if fault is not None:
+                fault_kinds.append(fault.kind)
+                injector.raise_fault(fault, where=f"sweep:{label}", attempt=attempts)
+            result = execute_spec(payload["spec"])
+            return {"ok": True, "result": result, "attempts": attempts,
+                    "faults": fault_kinds, "error": None}
+        except Exception as exc:
+            last_err = exc
+            if attempts <= policy.max_retries:
+                time.sleep(policy.delay(attempts))
+    return {"ok": False, "result": None, "attempts": attempts,
+            "faults": fault_kinds, "error": repr(last_err)}
+
+
 @dataclass(frozen=True)
 class SweepRun:
-    """One completed sweep point: spec, cache key, result, provenance."""
+    """One completed sweep point: spec, cache key, result, provenance.
+
+    ``attempts`` counts executions spent on this point in this campaign
+    (0 for cache hits and points that shared another point's execution);
+    a point whose retries were exhausted carries ``failed=True`` and a
+    ``{"failed": True, "error": ...}`` result instead of metrics.
+    """
 
     spec: RunSpec
     key: str
     result: dict
     cached: bool
+    attempts: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.result.get("failed", False))
 
     def row(self) -> tuple:
         """One row of the aggregated results table."""
         plat = f"{self.spec.n_nodes}x{self.spec.gpus_per_node}x{self.spec.gpu}"
         cfg = self.spec.config if self.spec.config != "adaptive" else f"adaptive({self.spec.app})"
-        return (
-            cfg,
-            self.spec.strategy,
-            self.spec.n,
-            self.spec.nb,
-            plat,
+        head = (cfg, self.spec.strategy, self.spec.n, self.spec.nb, plat)
+        if self.failed:
+            return head + ("-", "-", "-", "-", "-", "miss", "yes")
+        return head + (
             self.result["makespan_seconds"],
             self.result["tflops"],
             self.result["h2d_bytes"] / 1e9,
             self.result["nic_bytes"] / 1e9,
             self.result["n_conversions"],
             "hit" if self.cached else "miss",
+            "",
         )
 
 
@@ -160,18 +217,28 @@ class SweepResult:
     def cache_hit_fraction(self) -> float:
         return self.n_cache_hits / self.n_runs if self.runs else 0.0
 
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.runs if r.failed)
+
+    @property
+    def total_retries(self) -> int:
+        """Re-attempts spent across the campaign (attempts beyond the first)."""
+        return sum(max(0, r.attempts - 1) for r in self.runs)
+
     def table(self) -> str:
         from ..bench.reporting import format_table
 
         title = (f"sweep '{self.name}': {self.n_runs} runs, "
-                 f"{self.n_cache_hits} cache hits, {self.workers} worker(s), "
-                 f"{self.wall_seconds:.2f} s wall")
+                 f"{self.n_cache_hits} cache hits, {self.n_failed} failed, "
+                 f"{self.workers} worker(s), {self.wall_seconds:.2f} s wall")
         return format_table(TABLE_COLUMNS, [r.row() for r in self.runs], title=title)
 
     def to_bench_json(self) -> dict:
         """The ``BENCH_*.json`` document that feeds the perf trajectory."""
-        makespans = [r.result["makespan_seconds"] for r in self.runs]
-        tflops = [r.result["tflops"] for r in self.runs]
+        ok = [r for r in self.runs if not r.failed]
+        makespans = [r.result["makespan_seconds"] for r in ok]
+        tflops = [r.result["tflops"] for r in ok]
         return {
             "schema": "repro.bench/1",
             "cache_schema": CACHE_SCHEMA,
@@ -180,20 +247,24 @@ class SweepResult:
             "n_runs": self.n_runs,
             "n_cache_hits": self.n_cache_hits,
             "n_cache_misses": self.n_cache_misses,
+            "n_failed": self.n_failed,
+            "total_retries": self.total_retries,
             "cache_hit_fraction": self.cache_hit_fraction,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "aggregates": {
                 "best_tflops": max(tflops, default=0.0),
                 "total_sim_makespan_seconds": sum(makespans),
-                "total_plan_seconds": sum(r.result.get("plan_seconds", 0.0) for r in self.runs),
-                "total_sim_seconds": sum(r.result.get("sim_seconds", 0.0) for r in self.runs),
-                "planned_tasks": sum(r.result.get("n_tasks", 0) for r in self.runs),
+                "total_plan_seconds": sum(r.result.get("plan_seconds", 0.0) for r in ok),
+                "total_sim_seconds": sum(r.result.get("sim_seconds", 0.0) for r in ok),
+                "planned_tasks": sum(r.result.get("n_tasks", 0) for r in ok),
             },
             "runs": [
                 {
                     "key": r.key,
                     "cached": r.cached,
+                    "failed": r.failed,
+                    "attempts": r.attempts,
                     "spec": r.spec.to_dict(),
                     "metrics": r.result,
                 }
@@ -216,19 +287,45 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.json"
 
 
+def _quarantine(path: Path) -> None:
+    """Move a poisoned cache file aside (``<key>.json.corrupt``) and count it."""
+    try:
+        path.replace(path.with_suffix(path.suffix + ".corrupt"))
+    except OSError:
+        pass  # a concurrent campaign may have quarantined it already
+    get_registry().counter(
+        "sweep.cache_corrupt", "cache entries quarantined as unreadable/invalid"
+    ).inc()
+    emit_event("sweep.cache_corrupt", {"path": str(path)})
+
+
 def _load_cached(cache_dir: Path, spec: RunSpec, key: str) -> dict | None:
-    """Read a cached result, rejecting schema drift or spec mismatch."""
+    """Read a cached result; treat anything unreadable as a miss.
+
+    A truncated, non-UTF-8, non-object, or otherwise invalid file is
+    *quarantined* (renamed with a ``.corrupt`` suffix, ``sweep.cache_corrupt``
+    bumped) so the campaign re-executes the point instead of aborting —
+    previously a cache entry holding a JSON array or binary garbage
+    raised out of the campaign loop.  Schema drift and spec mismatch are
+    well-formed non-matches: plain misses, overwritten on store.
+    """
     path = _cache_path(cache_dir, key)
     if not path.exists():
         return None
     try:
         doc = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
+        if not isinstance(doc, dict):
+            raise ValueError(f"cache entry is {type(doc).__name__}, not an object")
+    except Exception:
+        _quarantine(path)
         return None
     if doc.get("schema") != CACHE_SCHEMA or doc.get("spec") != spec.to_dict():
         return None
     result = doc.get("result")
-    return result if isinstance(result, dict) else None
+    if not isinstance(result, dict):
+        _quarantine(path)
+        return None
+    return result
 
 
 def _store_cached(cache_dir: Path, spec: RunSpec, key: str, result: dict) -> None:
@@ -254,12 +351,20 @@ def run_sweep(
     cache_dir: str | Path = ".sweep-cache",
     force: bool = False,
     name: str | None = None,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | dict | None = None,
 ) -> SweepResult:
-    """Execute a campaign: every grid point, cached and parallel.
+    """Execute a campaign: every grid point, cached, parallel, resilient.
 
     ``workers > 1`` fans cache misses across a process pool; ``force``
     ignores (and rewrites) existing cache entries.  Results keep the
     grid's expansion order regardless of completion order.
+
+    ``retry_policy`` re-attempts crashed points with exponential backoff;
+    a point that exhausts its retries is recorded with ``failed=True``
+    (and left uncached, so the next campaign retries it) instead of
+    aborting the sweep.  ``fault_plan`` injects scripted failures into
+    matching points (see :mod:`repro.faults`).
     """
     if isinstance(grid, SweepGrid):
         specs = grid.expand()
@@ -272,10 +377,17 @@ def run_sweep(
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
 
+    if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+        fault_plan = FaultPlan.from_dict(fault_plan)
+
     registry = get_registry()
     runs_metric = registry.counter("sweep.runs", "sweep points priced (hits + misses)")
     hits_metric = registry.counter("sweep.cache_hits", "sweep points served from cache")
     misses_metric = registry.counter("sweep.cache_misses", "sweep points executed")
+    failed_metric = registry.counter("sweep.failed", "sweep points that exhausted retries")
+    faults_metric = registry.counter("faults.injected", "faults fired from the active fault plan")
+    retries_metric = registry.counter("retry.attempts", "re-attempts performed by retry policies")
+    gave_up_metric = registry.counter("retry.gave_up", "calls that exhausted their retry policy")
     run_timer = registry.timer("sweep.run_seconds", "wall time per executed sweep point")
 
     t_start = time.perf_counter()
@@ -294,24 +406,52 @@ def run_sweep(
             elif key not in owner:
                 owner[key] = idx
 
-        # 2. execute the misses (one simulator run per unique key)
+        # 2. execute the misses (one simulator run per unique key), each
+        #    under the retry policy and fault plan; failures are recorded,
+        #    not raised
         produced: dict[str, dict] = {}
+        attempts_spent: dict[int, int] = {}
         unique = sorted(owner.values())
         if unique:
-            payloads = [specs[i].to_dict() for i in unique]
+            payloads = [
+                {
+                    "spec": specs[i].to_dict(),
+                    "key": keys[i],
+                    "label": specs[i].label,
+                    "retry": retry_policy.to_dict() if retry_policy else None,
+                    "fault_plan": fault_plan.to_dict() if fault_plan else None,
+                }
+                for i in unique
+            ]
             if workers > 1 and len(unique) > 1:
                 from .pool import make_pool
 
                 with make_pool(min(workers, len(unique))) as pool:
-                    outputs = list(pool.map(execute_spec, payloads))
+                    outputs = list(pool.map(_run_point, payloads))
             else:
-                outputs = [execute_spec(p) for p in payloads]
-            for i, result in zip(unique, outputs):
-                _store_cached(cache_dir, specs[i], keys[i], result)
+                outputs = [_run_point(p) for p in payloads]
+            for i, env in zip(unique, outputs):
+                attempts_spent[i] = env["attempts"]
+                retries_metric.inc(max(0, env["attempts"] - 1), op="sweep.point")
+                for kind in env["faults"]:
+                    faults_metric.inc(kind=kind)
+                if env["ok"]:
+                    result = env["result"]
+                    _store_cached(cache_dir, specs[i], keys[i], result)
+                    run_timer.observe(result.get("plan_seconds", 0.0)
+                                      + result.get("sim_seconds", 0.0))
+                else:
+                    # a failed point stays uncached: the next campaign
+                    # retries it instead of replaying the failure
+                    result = {"failed": True, "error": env["error"],
+                              "attempts": env["attempts"]}
+                    failed_metric.inc()
+                    gave_up_metric.inc(op="sweep.point")
+                    emit_event("sweep.point_failed",
+                               {"key": keys[i], "label": specs[i].label,
+                                "attempts": env["attempts"], "error": env["error"]})
                 produced[keys[i]] = result
                 misses_metric.inc()
-                run_timer.observe(result.get("plan_seconds", 0.0)
-                                  + result.get("sim_seconds", 0.0))
         for idx in range(len(specs)):
             if idx not in results:
                 # executed here (cached=False) or shared from the point
@@ -320,7 +460,8 @@ def run_sweep(
 
         runs_metric.inc(len(specs))
         sweep_runs = [
-            SweepRun(spec=specs[i], key=keys[i], result=results[i][0], cached=results[i][1])
+            SweepRun(spec=specs[i], key=keys[i], result=results[i][0],
+                     cached=results[i][1], attempts=attempts_spent.get(i, 0))
             for i in range(len(specs))
         ]
         wall = time.perf_counter() - t_start
@@ -333,9 +474,10 @@ def run_sweep(
                 {
                     "key": run.key,
                     "cached": run.cached,
+                    "failed": run.failed,
                     "label": run.spec.label,
-                    "makespan_seconds": run.result["makespan_seconds"],
-                    "tflops": run.result["tflops"],
+                    "makespan_seconds": run.result.get("makespan_seconds"),
+                    "tflops": run.result.get("tflops"),
                 },
             )
         emit_event(
@@ -344,6 +486,8 @@ def run_sweep(
                 "name": sweep_name,
                 "n_runs": out.n_runs,
                 "n_cache_hits": out.n_cache_hits,
+                "n_failed": out.n_failed,
+                "total_retries": out.total_retries,
                 "cache_hit_fraction": out.cache_hit_fraction,
                 "wall_seconds": wall,
             },

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.geostats.generator import SyntheticField
 from repro.geostats.montecarlo import (
     BoxStats,
@@ -79,3 +80,50 @@ class TestRunMonteCarlo:
             assert np.allclose(d["exact"], d["1e-09"], rtol=0.1, atol=0.02), (
                 f"replica {replica}: {d}"
             )
+
+
+class TestMonteCarloResilience:
+    def _field(self):
+        return SyntheticField.matern_2d(n=100, range_=0.1, smoothness=0.5, seed=4)
+
+    def test_crashed_replica_lands_in_failures(self):
+        """A permanently-crashing cell is recorded, the rest of the study
+        completes (cell labels are '<accuracy>:<replica>')."""
+        plan = FaultPlan((FaultSpec("crash_point", point="1e-09:1", times=None),))
+        study = run_monte_carlo(
+            self._field(), ["exact", 1e-9], replicas=3, tile_size=25,
+            max_evals=80, restarts=0, fault_plan=plan,
+        )
+        assert len(study.estimates) == 5
+        assert len(study.failures) == 1
+        failure = study.failures[0]
+        assert failure.replica == 1
+        assert failure.accuracy_label == "1e-09"
+        assert failure.attempts == 1
+        assert "FaultInjectedError" in failure.error
+
+    def test_transient_fault_recovered_by_retry(self):
+        plan = FaultPlan((FaultSpec("transient", point="exact:0", times=1),))
+        study = run_monte_carlo(
+            self._field(), ["exact"], replicas=2, tile_size=25,
+            max_evals=80, restarts=0, fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=1, base_delay=0.0),
+        )
+        assert len(study.estimates) == 2
+        assert not study.failures
+
+    def test_faulted_study_matches_clean_study(self):
+        """Surviving estimates are bit-identical with and without a fault
+        plan — injection perturbs only the targeted cell."""
+        clean = run_monte_carlo(
+            self._field(), ["exact"], replicas=2, tile_size=25,
+            max_evals=80, restarts=0,
+        )
+        plan = FaultPlan((FaultSpec("crash_point", point="exact:1", times=None),))
+        faulted = run_monte_carlo(
+            self._field(), ["exact"], replicas=2, tile_size=25,
+            max_evals=80, restarts=0, fault_plan=plan,
+        )
+        assert len(faulted.estimates) == 1
+        clean_r0 = next(e for e in clean.estimates if e.replica == 0)
+        assert faulted.estimates[0].theta_hat == clean_r0.theta_hat

@@ -66,6 +66,72 @@ class TestEnergy:
         assert power_trace(V100, [], 0.0) == []
 
 
+class TestPowerTraceRegressions:
+    """Pin the half-open-mask and below-idle fixes (ISSUE 3 satellites)."""
+
+    def test_event_ending_at_makespan_in_final_sample(self):
+        """The trace is closed at the makespan: an event running to the
+        end must show in the last sample, not drop to idle there."""
+        samples = power_trace(V100, [Ev(0.0, 10.0)], 10.0, n_samples=10)
+        assert samples[-1].time == pytest.approx(10.0)
+        assert samples[-1].watts > V100.idle_power
+
+    def test_abutting_events_no_double_count_inside(self):
+        """Half-open [t0, t1) still holds away from the makespan."""
+        evs = [Ev(0.0, 5.0), Ev(5.0, 10.0)]
+        samples = power_trace(V100, evs, 10.0, n_samples=10)
+        inc = V100.compute_power(Precision.FP64) - V100.idle_power
+        at_boundary = [s for s in samples if s.time == pytest.approx(5.0)]
+        assert at_boundary
+        assert at_boundary[0].watts == pytest.approx(V100.idle_power + inc)
+
+    def test_below_idle_power_subtracts(self):
+        """A precision whose compute power sits below idle must pull the
+        trace *below* the idle line, not be silently discarded."""
+        from dataclasses import replace
+
+        cold = replace(
+            V100,
+            compute_power_fraction={**V100.compute_power_fraction, Precision.FP16: 0.02},
+        )
+        inc = cold.compute_power(Precision.FP16) - cold.idle_power
+        assert inc < 0.0  # the scenario under test
+        samples = power_trace(cold, [Ev(0.0, 10.0, "compute", Precision.FP16)],
+                              10.0, n_samples=10)
+        assert all(s.watts == pytest.approx(cold.idle_power + inc) for s in samples)
+
+    def test_trapezoid_matches_exact_joules(self):
+        """Integrating the sampled trace must agree with the exact
+        event-duration integral (non-overlapping events, so the 1.1×TDP
+        clamp never bites)."""
+        evs = [
+            Ev(0.0, 3.0, "compute", Precision.FP64),
+            Ev(3.0, 5.0, "h2d"),
+            Ev(5.0, 9.0, "compute", Precision.FP16),
+        ]
+        makespan = 10.0
+        rep = energy_report(V100, evs, makespan, n_samples=200)
+        samples = power_trace(V100, evs, makespan, n_samples=20000)
+        t = np.array([s.time for s in samples])
+        w = np.array([s.watts for s in samples])
+        integral = float(np.trapezoid(w, t))
+        assert integral == pytest.approx(rep.total_joules, rel=1e-3)
+
+    def test_trapezoid_matches_exact_joules_below_idle(self):
+        from dataclasses import replace
+
+        cold = replace(
+            V100,
+            compute_power_fraction={**V100.compute_power_fraction, Precision.FP16: 0.02},
+        )
+        evs = [Ev(0.0, 8.0, "compute", Precision.FP16)]
+        rep = energy_report(cold, evs, 8.0)
+        samples = power_trace(cold, evs, 8.0, n_samples=8000)
+        t = np.array([s.time for s in samples])
+        w = np.array([s.watts for s in samples])
+        assert float(np.trapezoid(w, t)) == pytest.approx(rep.total_joules, rel=1e-6)
+
+
 class TestOccupancy:
     def test_full_busy(self):
         evs = [Ev(0.0, 10.0)]

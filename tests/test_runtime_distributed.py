@@ -1,5 +1,7 @@
 """Tests for the process-based distributed numeric executor."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -10,8 +12,9 @@ from repro.core import (
     two_precision_map,
     uniform_map,
 )
+from repro.faults import FaultPlan, FaultSpec
 from repro.precision import Precision
-from repro.runtime import execute_numeric
+from repro.runtime import DistributedReport, execute_numeric
 from repro.runtime.distributed import execute_numeric_distributed
 from repro.tiles import ProcessGrid
 from repro.tiles.norms import tile_norms
@@ -77,3 +80,121 @@ class TestDistributedExecutor:
         dag.graph.tasks[0].kind = "BROKEN"
         with pytest.raises(RuntimeError, match="rank"):
             execute_numeric_distributed(dag.graph, mat, 2)
+
+
+def _rank_task(graph, rank: int) -> int:
+    """A task id owned by ``rank``, late enough that other work exists."""
+    tids = [t.tid for t in graph if t.rank == rank]
+    assert tids, f"grid layout assigns no tasks to rank {rank}"
+    return tids[len(tids) // 2]
+
+
+class TestDistributedFaults:
+    """Fault injection against the SPMD executor (ISSUE 3 acceptance)."""
+
+    TIMEOUT = 30.0  # documented bound: failure must surface well within it
+
+    def setup_case(self, rng):
+        mat = _mat(rng)
+        g = ProcessGrid(2, 2)
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64), grid=g)
+        return mat, g, dag
+
+    def test_sigkill_fails_fast_within_timeout(self, rng):
+        mat, g, dag = self.setup_case(rng)
+        plan = FaultPlan(
+            (FaultSpec("kill_rank", rank=1, task=_rank_task(dag.graph, 1)),)
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="died without reporting"):
+            execute_numeric_distributed(
+                dag.graph, mat, g.size, timeout=self.TIMEOUT, fault_plan=plan
+            )
+        elapsed = time.monotonic() - t0
+        # fail-fast: detection rides on exitcode polling, not the timeout
+        assert elapsed < self.TIMEOUT / 2
+
+    def test_exit0_rank_detected_as_dead(self, rng):
+        """A pending rank exiting with code 0 used to hang until timeout."""
+        mat, g, dag = self.setup_case(rng)
+        plan = FaultPlan(
+            (FaultSpec("kill_rank", rank=1, task=_rank_task(dag.graph, 1),
+                       mode="exit0"),)
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="exit 0"):
+            execute_numeric_distributed(
+                dag.graph, mat, g.size, timeout=self.TIMEOUT, fault_plan=plan
+            )
+        assert time.monotonic() - t0 < self.TIMEOUT / 2
+
+    def test_exception_mode_reports_rank_failure(self, rng):
+        mat, g, dag = self.setup_case(rng)
+        plan = FaultPlan(
+            (FaultSpec("kill_rank", rank=0, task=_rank_task(dag.graph, 0),
+                       mode="exception", note="scripted"),)
+        )
+        with pytest.raises(RuntimeError, match="rank 0"):
+            execute_numeric_distributed(
+                dag.graph, mat, g.size, timeout=self.TIMEOUT, fault_plan=plan
+            )
+
+    def test_degradation_is_bit_identical(self, rng):
+        """Rank loss + degrade=True recovers the exact sequential result."""
+        mat, g, dag = self.setup_case(rng)
+        seq = execute_numeric(dag.graph, mat)
+        plan = FaultPlan(
+            (FaultSpec("kill_rank", rank=1, task=_rank_task(dag.graph, 1)),)
+        )
+        report = execute_numeric_distributed(
+            dag.graph, mat, g.size, timeout=self.TIMEOUT, fault_plan=plan,
+            degrade=True, return_report=True,
+        )
+        assert isinstance(report, DistributedReport)
+        assert report.degraded
+        assert 1 in report.dead_ranks
+        assert report.error is not None
+        assert np.array_equal(report.matrix.lower_dense(), seq.lower_dense())
+
+    def test_degrade_without_report_returns_matrix(self, rng):
+        mat, g, dag = self.setup_case(rng)
+        seq = execute_numeric(dag.graph, mat)
+        plan = FaultPlan(
+            (FaultSpec("kill_rank", rank=1, task=_rank_task(dag.graph, 1),
+                       mode="exception"),)
+        )
+        out = execute_numeric_distributed(
+            dag.graph, mat, g.size, timeout=self.TIMEOUT, fault_plan=plan,
+            degrade=True,
+        )
+        assert isinstance(out, TiledSymmetricMatrix)
+        assert np.array_equal(out.lower_dense(), seq.lower_dense())
+
+    def test_delayed_message_still_bit_identical(self, rng):
+        """delay_message perturbs timing only — results must not change."""
+        mat, g, dag = self.setup_case(rng)
+        seq = execute_numeric(dag.graph, mat)
+        plan = FaultPlan(
+            (FaultSpec("delay_message", rank=0, message=0, delay_s=0.2),)
+        )
+        dist = execute_numeric_distributed(
+            dag.graph, mat, g.size, timeout=self.TIMEOUT, fault_plan=plan
+        )
+        assert np.array_equal(dist.lower_dense(), seq.lower_dense())
+
+    def test_healthy_run_report(self, rng):
+        mat, g, dag = self.setup_case(rng)
+        report = execute_numeric_distributed(
+            dag.graph, mat, g.size, timeout=self.TIMEOUT, return_report=True
+        )
+        assert isinstance(report, DistributedReport)
+        assert not report.degraded
+        assert report.error is None
+        assert report.dead_ranks == ()
+
+    def test_single_rank_report(self, rng):
+        mat = _mat(rng)
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64))
+        report = execute_numeric_distributed(dag.graph, mat, 1, return_report=True)
+        assert isinstance(report, DistributedReport)
+        assert not report.degraded
