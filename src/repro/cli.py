@@ -9,6 +9,10 @@ Commands
 ``bench``     run one experiment driver (table/figure) and print its table
 ``info``      show the encoded GPU specifications (Table I)
 ``report``    summarise a captured run (metrics/manifest, events, trace)
+``analyze``   explain a captured run: data-motion ledger, conversion-site
+              attribution, critical path, utilization (trace or run dir)
+``compare``   regression sentinel: diff BENCH/run-summary documents with
+              per-metric thresholds; ``--fail-on-regress`` gates CI
 
 Telemetry flags (see ``docs/OBSERVABILITY.md``): ``simulate`` takes
 ``--trace-out`` (Perfetto JSON with counter tracks), ``--metrics-out``
@@ -133,6 +137,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="Perfetto trace JSON written by --trace-out")
 
+    p = sub.add_parser(
+        "analyze",
+        help="explain a captured run: data-motion ledger, critical path, occupancy",
+    )
+    p.add_argument("path", metavar="TRACE|RUN-DIR",
+                   help="Perfetto trace JSON (--trace-out), run-summary JSON "
+                        "(--metrics-out), or a directory holding either/both")
+    p.add_argument("--buckets", type=int, default=20,
+                   help="utilization-timeline buckets (default: 20)")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the machine-readable analysis document")
+
+    p = sub.add_parser(
+        "compare",
+        help="regression sentinel: diff BENCH/run-summary documents",
+    )
+    p.add_argument("baseline", help="baseline BENCH_*.json or run-summary JSON")
+    p.add_argument("candidates", nargs="+",
+                   help="candidate document(s) compared against the baseline")
+    p.add_argument("--threshold", action="append", default=None,
+                   metavar="METRIC=REL[:DIRECTION]",
+                   help="override a relative threshold, e.g. tflops=0.10 or "
+                        "my_metric=0.05:higher; repeatable")
+    p.add_argument("--fail-on-regress", action="store_true",
+                   help="exit non-zero when any metric regresses beyond threshold")
+    p.add_argument("--all-metrics", action="store_true",
+                   help="print every compared metric, not just the deltas")
+    p.add_argument("--report-out", default=None, metavar="PATH",
+                   help="write the machine-readable verdict JSON")
+
     p = sub.add_parser("bench", help="run one experiment driver")
     p.add_argument("target", choices=[
         "table1", "table2", "fig1", "fig7", "fig8", "fig12",
@@ -254,7 +288,10 @@ def _cmd_simulate(args) -> int:
     print(f"  tasks      {d['n_tasks']}  evictions {d['n_evictions']}")
 
     if args.trace_out:
-        obs.write_perfetto_trace(rep.trace.events, args.trace_out, counters=True)
+        # fault/retry obs events (if captured) ride along as instants
+        obs_events = obs.read_events(args.events_out) if args.events_out else None
+        obs.write_perfetto_trace(rep.trace.events, args.trace_out, counters=True,
+                                 obs_events=obs_events)
         print(f"  trace   → {args.trace_out}")
     if args.csv_out:
         obs.write_trace_csv(rep.trace.events, args.csv_out)
@@ -314,7 +351,8 @@ def _cmd_sweep(args) -> int:
         print(f"  bench   → {path}")
     if args.metrics_out:
         manifest = obs.build_manifest(command="sweep", config=vars(args))
-        obs.write_run_summary(args.metrics_out, manifest=manifest)
+        obs.write_run_summary(args.metrics_out, stats=result.summary_stats(),
+                              manifest=manifest)
         print(f"  metrics → {args.metrics_out}")
     return 0
 
@@ -407,6 +445,75 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    import json
+
+    from .obs.analysis import analyze_path, render_analysis
+
+    try:
+        doc = analyze_path(args.path, n_buckets=args.buckets)
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    source = doc.get("source") or {}
+    print(f"== analysis ({source.get('trace') or source.get('path')}) ==")
+    print(render_analysis(doc))
+    mismatches = (doc.get("reconciliation") or {}).get("mismatches") or []
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"  analysis → {args.json_out}")
+    return 1 if mismatches else 0
+
+
+def _cmd_compare(args) -> int:
+    import json
+
+    from .obs.regress import compare_files, parse_threshold_args
+
+    for path in [args.baseline, *args.candidates]:
+        if not Path(path).exists():
+            print(f"compare: no such file: {path}", file=sys.stderr)
+            return 2
+    try:
+        thresholds = parse_threshold_args(args.threshold)
+    except ValueError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+
+    reports = []
+    for candidate in args.candidates:
+        try:
+            report = compare_files(args.baseline, candidate, thresholds=thresholds)
+        except ValueError as exc:
+            print(f"compare: {candidate}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        print(report.table(all_metrics=args.all_metrics))
+        if report.missing_in_candidate:
+            print(f"  scopes missing in candidate: {', '.join(report.missing_in_candidate)}")
+        if report.added_in_candidate:
+            print(f"  scopes added in candidate: {', '.join(report.added_in_candidate)}")
+        print()
+    if args.report_out:
+        out = Path(args.report_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload = (reports[0].to_dict() if len(reports) == 1
+                   else {"schema": "repro.obs.regress/1+multi",
+                         "reports": [r.to_dict() for r in reports]})
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"  verdict → {args.report_out}")
+    n_regressions = sum(r.n_regressions for r in reports)
+    if args.fail_on_regress and n_regressions:
+        print(f"compare: {n_regressions} regression(s) beyond threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench import (
         fig1_performance_rows,
@@ -474,6 +581,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "info": _cmd_info,
         "report": _cmd_report,
+        "analyze": _cmd_analyze,
+        "compare": _cmd_compare,
     }[args.command]
     return handler(args)
 

@@ -15,10 +15,21 @@ reproduction measures itself.  Four pieces, shared by every layer:
 * **exporters + manifest** (:mod:`repro.obs.exporters`,
   :mod:`repro.obs.manifest`) — Perfetto traces with counter tracks, CSV
   dumps, JSON run summaries, and a deterministic per-run manifest
-  (config, seed, versions, git revision, platform).
+  (config, seed, versions, git revision, platform);
+* **analysis** (:mod:`repro.obs.analysis`) — the data-motion ledger
+  (bytes per link/precision, STC-vs-TTC conversion attribution, savings
+  vs all-FP64), critical-path and occupancy analysis (``repro
+  analyze``);
+* **regression sentinel** (:mod:`repro.obs.regress`) — thresholded
+  BENCH/run-summary diffing with a machine-readable verdict (``repro
+  compare``), wired into CI as a perf-trajectory gate.
 
-See ``docs/OBSERVABILITY.md`` for the capture-and-inspect workflow.
+See ``docs/OBSERVABILITY.md`` for the capture-analyze-compare workflow.
 """
+
+from . import analysis, regress
+from .analysis import analyze_path, analyze_trace, build_ledger, critical_path
+from .regress import compare_docs, compare_files
 
 from ._runtime import (
     current_span_path,
@@ -44,6 +55,14 @@ from .spans import Span, span, traced
 __all__ = [
     "Counter",
     "EventLog",
+    "analysis",
+    "analyze_path",
+    "analyze_trace",
+    "build_ledger",
+    "compare_docs",
+    "compare_files",
+    "critical_path",
+    "regress",
     "Gauge",
     "Histogram",
     "Metric",

@@ -1,0 +1,46 @@
+"""repro.obs.analysis — turn captured traces into the paper's evidence.
+
+PR 1 (capture) and PR 2 (perf trajectory) record what happened; this
+subpackage *explains* it, the way Sections VII-D/E argue the paper's
+claims:
+
+* :mod:`~repro.obs.analysis.ledger` — the **data-motion ledger**: bytes
+  per link (h2d/d2h/nic) per precision per rank, conversion passes
+  attributed to sender-side (STC) vs receiver-side (TTC) sites, and the
+  "bytes saved vs all-FP64" delta;
+* :mod:`~repro.obs.analysis.critical_path` — the **critical path** of
+  the simulated schedule (the longest end-time chain through
+  compute/transfer events), per-engine slack, and bucketed utilization
+  timelines, so occupancy/bottleneck claims are queryable instead of
+  eyeballed from Perfetto;
+* :mod:`~repro.obs.analysis.report` — loaders (Perfetto trace JSON,
+  run-summary JSON, run directories) and the text/JSON rendering behind
+  ``repro analyze``.
+
+The regression sentinel that *gates* the perf trajectory lives beside
+this package in :mod:`repro.obs.regress` (``repro compare``).
+"""
+
+from .critical_path import (
+    CriticalPathResult,
+    critical_path,
+    engine_slack,
+    utilization_timeline,
+)
+from .ledger import ConversionRow, DataMotionLedger, LedgerRow, build_ledger
+from .report import analyze_path, analyze_trace, load_trace_events, render_analysis
+
+__all__ = [
+    "ConversionRow",
+    "CriticalPathResult",
+    "DataMotionLedger",
+    "LedgerRow",
+    "analyze_path",
+    "analyze_trace",
+    "build_ledger",
+    "critical_path",
+    "engine_slack",
+    "load_trace_events",
+    "render_analysis",
+    "utilization_timeline",
+]

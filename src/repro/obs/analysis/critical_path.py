@@ -1,0 +1,190 @@
+"""Critical-path and occupancy analysis of a simulated schedule.
+
+The simulator's list schedule has the property that every busy interval
+starts either at t=0 or exactly when its binding constraint — a
+predecessor kernel, an inbound transfer, or the engine's previous event
+— ends.  The critical path is therefore recoverable from the event
+stream alone: walk backwards from the event that ends at the makespan,
+at each step jumping to the latest-ending event that finishes at (or
+before) the current event's start.  The resulting chain spans the whole
+run — its length equals the makespan within float tolerance — and its
+per-engine/per-kind composition says *what* the run was bound by
+(compute vs copies vs NIC), which is the queryable form of the paper's
+Figs. 8–9 occupancy arguments.
+
+Also here: per-(rank, engine) slack over the makespan and bucketed
+utilization timelines (busy fraction per engine per time bucket), the
+numeric backing for "occupancy moves as precision drops" claims.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "CriticalPathResult",
+    "critical_path",
+    "engine_slack",
+    "utilization_timeline",
+]
+
+
+@dataclass
+class CriticalPathResult:
+    """The longest end-time chain through a trace."""
+
+    #: chain events in chronological order (empty for an empty trace)
+    events: list = field(default_factory=list)
+    makespan: float = 0.0
+    #: time spanned by the chain: last t_end − first t_start
+    length: float = 0.0
+    #: idle time encountered along the walk (0 for simulator schedules)
+    gap_seconds: float = 0.0
+    time_by_engine: dict[str, float] = field(default_factory=dict)
+    time_by_kind: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_events": self.n_events,
+            "makespan_seconds": self.makespan,
+            "length_seconds": self.length,
+            "gap_seconds": self.gap_seconds,
+            "time_by_engine": dict(sorted(self.time_by_engine.items())),
+            "time_by_kind": dict(sorted(self.time_by_kind.items())),
+            "events": [
+                {
+                    "rank": ev.rank,
+                    "engine": ev.engine,
+                    "kind": ev.kind,
+                    "t_start": ev.t_start,
+                    "t_end": ev.t_end,
+                }
+                for ev in self.events
+            ],
+        }
+
+
+def critical_path(events: Sequence, *, tol: float | None = None) -> CriticalPathResult:
+    """Recover the critical path from a trace's busy intervals.
+
+    ``tol`` absorbs float association noise when matching an event's
+    start against candidate predecessors' ends; it defaults to
+    ``1e-9 × max(makespan, 1)``.  Zero-duration events are legal chain
+    members (each event is visited at most once, so the walk always
+    terminates).
+    """
+    evs = list(events)
+    if not evs:
+        return CriticalPathResult()
+    makespan = max(e.t_end for e in evs)
+    if tol is None:
+        tol = 1e-9 * max(makespan, 1.0)
+
+    order = sorted(range(len(evs)), key=lambda i: evs[i].t_end)
+    ends = [evs[i].t_end for i in order]
+    visited: set[int] = set()
+
+    cur = max(range(len(evs)), key=lambda i: (evs[i].t_end, -evs[i].t_start))
+    chain = [cur]
+    visited.add(cur)
+    gaps = 0.0
+    while evs[cur].t_start > tol:
+        target = evs[cur].t_start
+        # latest-ending unvisited event finishing at/before the current start
+        pos = bisect.bisect_right(ends, target + tol) - 1
+        best = None
+        while pos >= 0:
+            idx = order[pos]
+            if idx not in visited:
+                best = idx
+                break
+            pos -= 1
+        if best is None:
+            gaps += target  # nothing earlier: leading idle gap
+            break
+        gap = target - evs[best].t_end
+        if gap > tol:
+            gaps += gap
+        chain.append(best)
+        visited.add(best)
+        cur = best
+
+    chain.reverse()
+    chain_events = [evs[i] for i in chain]
+    by_engine: dict[str, float] = {}
+    by_kind: dict[str, float] = {}
+    for ev in chain_events:
+        dur = max(0.0, ev.t_end - ev.t_start)
+        by_engine[ev.engine] = by_engine.get(ev.engine, 0.0) + dur
+        by_kind[ev.kind] = by_kind.get(ev.kind, 0.0) + dur
+    return CriticalPathResult(
+        events=chain_events,
+        makespan=makespan,
+        length=chain_events[-1].t_end - chain_events[0].t_start,
+        gap_seconds=gaps,
+        time_by_engine=by_engine,
+        time_by_kind=by_kind,
+    )
+
+
+def engine_slack(events: Sequence, makespan: float | None = None) -> dict[tuple[int, str], float]:
+    """Idle seconds per (rank, engine) over the makespan."""
+    evs = list(events)
+    if not evs:
+        return {}
+    if makespan is None:
+        makespan = max(e.t_end for e in evs)
+    busy: dict[tuple[int, str], float] = {}
+    for ev in evs:
+        key = (ev.rank, ev.engine)
+        busy[key] = busy.get(key, 0.0) + max(0.0, ev.t_end - ev.t_start)
+    return {key: max(0.0, makespan - b) for key, b in sorted(busy.items())}
+
+
+def utilization_timeline(
+    events: Sequence,
+    *,
+    makespan: float | None = None,
+    n_buckets: int = 20,
+) -> dict[str, list[float]]:
+    """Busy fraction per engine per time bucket over [0, makespan].
+
+    Each engine's busy time is averaged over the ranks that have that
+    engine, so a fully-busy engine reads 1.0 regardless of rank count.
+    """
+    evs = list(events)
+    if not evs or n_buckets <= 0:
+        return {}
+    if makespan is None:
+        makespan = max(e.t_end for e in evs)
+    if makespan <= 0.0:
+        return {}
+    dt = makespan / n_buckets
+    ranks_per_engine: dict[str, set[int]] = {}
+    busy: dict[str, list[float]] = {}
+    for ev in evs:
+        ranks_per_engine.setdefault(ev.engine, set()).add(ev.rank)
+        buckets = busy.setdefault(ev.engine, [0.0] * n_buckets)
+        lo = max(0.0, ev.t_start)
+        hi = min(makespan, ev.t_end)
+        if hi <= lo:
+            continue
+        first = min(n_buckets - 1, int(lo / dt))
+        last = min(n_buckets - 1, int((hi - 1e-18) / dt))
+        for b in range(first, last + 1):
+            overlap = min(hi, (b + 1) * dt) - max(lo, b * dt)
+            if overlap > 0.0:
+                buckets[b] += overlap
+    return {
+        engine: [
+            min(1.0, seconds / (dt * len(ranks_per_engine[engine])))
+            for seconds in buckets
+        ]
+        for engine, buckets in sorted(busy.items())
+    }

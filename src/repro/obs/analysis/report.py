@@ -1,0 +1,257 @@
+"""Loaders and rendering behind ``repro analyze``.
+
+``repro analyze <path>`` accepts:
+
+* a Perfetto/Chrome trace JSON written by ``--trace-out`` (the slices
+  are parsed back into :class:`~repro.runtime.tracing.TraceEvent`-shaped
+  records, CONVERT site tags included);
+* a run-summary JSON written by ``--metrics-out`` (stats counters only —
+  the ledger loses per-rank detail but keeps per-link per-precision
+  totals);
+* a directory holding either or both — with both, the event-derived
+  ledger is *reconciled* against the stats counters and any discrepancy
+  is reported.
+
+The output is a text report (data-motion ledger, conversion-site table,
+critical path, per-engine slack, utilization timeline) plus a
+machine-readable document (``--json-out``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ...precision.formats import Precision
+from .critical_path import critical_path, engine_slack, utilization_timeline
+from .ledger import build_ledger
+
+__all__ = ["analyze_path", "analyze_trace", "load_trace_events", "render_analysis"]
+
+
+def _parse_precision(name) -> Precision | None:
+    if not name:
+        return None
+    try:
+        return Precision[name]
+    except KeyError:
+        return None
+
+
+def load_trace_events(path: str | Path) -> list:
+    """Parse a Perfetto trace JSON back into :class:`TraceEvent` records.
+
+    Inverse of :func:`repro.obs.write_perfetto_trace` for the slice
+    events (counters/metadata/instants are derived, so they are simply
+    skipped on read).
+    """
+    from ...runtime.tracing import TraceEvent
+
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    slices = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    events = []
+    for sl in slices:
+        args = sl.get("args") or {}
+        t_start = float(sl["ts"]) / 1e6
+        events.append(
+            TraceEvent(
+                rank=int(sl.get("pid", 0)),
+                engine=str(sl.get("cat", "")),
+                kind=str(sl.get("name", "")),
+                t_start=t_start,
+                t_end=t_start + float(sl.get("dur", 0.0)) / 1e6,
+                precision=_parse_precision(args.get("precision")),
+                bytes=int(args.get("bytes", 0)),
+                flops=float(args.get("flops", 0.0)),
+                site=args.get("site") or None,
+                src_precision=_parse_precision(args.get("src_precision")),
+                dst_precision=_parse_precision(args.get("dst_precision")),
+            )
+        )
+    return events
+
+
+def _stats_from_doc(doc: dict) -> dict | None:
+    """Pull a RunStats-dict out of a run-summary / metrics document."""
+    stats = doc.get("stats")
+    if isinstance(stats, dict) and "makespan_seconds" in stats:
+        return stats
+    trace = doc.get("trace")
+    if isinstance(trace, dict) and isinstance(trace.get("stats"), dict):
+        return trace["stats"]
+    if "makespan_seconds" in doc:  # a bare RunStats.to_dict() file
+        return doc
+    return None
+
+
+def analyze_trace(
+    events: Sequence | None = None,
+    stats: dict | None = None,
+    *,
+    n_buckets: int = 20,
+) -> dict:
+    """Assemble the full analysis document from events and/or stats."""
+    ledger = build_ledger(events=events, stats=stats)
+    doc: dict = {
+        "schema": "repro.obs.analysis/1",
+        "ledger": ledger.to_dict(),
+    }
+    if events and stats is not None:
+        mismatches = ledger.reconcile(stats)
+        doc["reconciliation"] = {"checked": True, "mismatches": mismatches}
+    else:
+        doc["reconciliation"] = {"checked": False, "mismatches": []}
+    if events:
+        cp = critical_path(events)
+        doc["critical_path"] = cp.to_dict()
+        doc["slack_seconds"] = {
+            f"rank{rank}/{engine}": slack
+            for (rank, engine), slack in engine_slack(events, cp.makespan).items()
+        }
+        doc["utilization"] = utilization_timeline(
+            events, makespan=cp.makespan, n_buckets=n_buckets
+        )
+    if stats is not None:
+        doc["stats"] = dict(stats)
+    return doc
+
+
+def _sparkline(fractions: Sequence[float]) -> str:
+    glyphs = " ▁▂▃▄▅▆▇█"
+    return "".join(glyphs[min(8, int(f * 8.999))] for f in fractions)
+
+
+def render_analysis(doc: dict) -> str:
+    """Human-readable rendering of an :func:`analyze_trace` document."""
+    from .ledger import ConversionRow, DataMotionLedger, LedgerRow
+
+    lines: list[str] = []
+    led = doc.get("ledger") or {}
+    ledger = DataMotionLedger(
+        rows=[
+            LedgerRow(
+                r["link"],
+                _parse_precision(r.get("precision")),
+                r.get("rank"),
+                int(r.get("bytes", 0)),
+                int(r.get("n_events", 0)),
+            )
+            for r in led.get("rows", [])
+        ],
+        conversions=[
+            ConversionRow(
+                c["site"],
+                _parse_precision(c.get("src")),
+                _parse_precision(c.get("dst")),
+                int(c.get("count", 0)),
+                float(c.get("seconds", 0.0)),
+            )
+            for c in led.get("conversions", [])
+        ],
+        source=led.get("source", "events"),
+    )
+    if ledger.rows or ledger.conversions:
+        lines.append(ledger.table())
+        saved = led.get("total_saved_bytes_vs_fp64", 0)
+        total = led.get("total_bytes", 0)
+        denom = total + saved
+        pct = (saved / denom * 100.0) if denom else 0.0
+        lines.append(
+            f"total {total / 1e9:.3f} GB moved; "
+            f"{saved / 1e9:.3f} GB ({pct:.1f}%) saved vs all-FP64"
+        )
+    else:
+        lines.append("(no data-motion events)")
+
+    rec = doc.get("reconciliation") or {}
+    if rec.get("checked"):
+        mism = rec.get("mismatches") or []
+        if mism:
+            lines.append("RECONCILIATION FAILED:")
+            lines.extend(f"  {m}" for m in mism)
+        else:
+            lines.append("ledger reconciles exactly with RunStats counters ✓")
+
+    cp = doc.get("critical_path")
+    if cp:
+        lines.append("")
+        lines.append(
+            f"critical path: {cp['n_events']} events, "
+            f"{cp['length_seconds']:.6f} s of {cp['makespan_seconds']:.6f} s makespan "
+            f"(gaps {cp['gap_seconds']:.2e} s)"
+        )
+        for title, key in (("by engine", "time_by_engine"), ("by kind", "time_by_kind")):
+            parts = ", ".join(
+                f"{name} {seconds:.4f}s"
+                for name, seconds in sorted(
+                    (cp.get(key) or {}).items(), key=lambda kv: -kv[1]
+                )
+            )
+            if parts:
+                lines.append(f"  {title}: {parts}")
+
+    util = doc.get("utilization")
+    if util:
+        lines.append("")
+        lines.append("utilization over the makespan (one cell per bucket):")
+        for engine, fractions in util.items():
+            mean = sum(fractions) / len(fractions) if fractions else 0.0
+            lines.append(f"  {engine:<8}|{_sparkline(fractions)}| mean {mean * 100:5.1f}%")
+
+    slack = doc.get("slack_seconds")
+    if slack:
+        worst = sorted(slack.items(), key=lambda kv: kv[1])[:4]
+        lines.append(
+            "least slack: "
+            + ", ".join(f"{name} {seconds:.4f}s" for name, seconds in worst)
+        )
+    return "\n".join(lines)
+
+
+def analyze_path(path: str | Path, *, n_buckets: int = 20) -> dict:
+    """Analyze a trace file, summary file, or run directory.
+
+    Returns the analysis document; raises ``ValueError`` when the path
+    holds nothing analyzable.
+    """
+    path = Path(path)
+    trace_file: Path | None = None
+    stats: dict | None = None
+
+    def classify(file: Path) -> None:
+        nonlocal trace_file, stats
+        try:
+            doc = json.loads(file.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if not isinstance(doc, dict):
+            return
+        if "traceEvents" in doc:
+            trace_file = trace_file or file
+        elif stats is None:
+            found = _stats_from_doc(doc)
+            if found is not None:
+                stats = found
+
+    if path.is_dir():
+        for file in sorted(path.glob("*.json")):
+            classify(file)
+    elif path.is_file():
+        classify(path)
+    else:
+        raise ValueError(f"no such file or directory: {path}")
+
+    if trace_file is None and stats is None:
+        raise ValueError(
+            f"nothing analyzable under {path}: expected a Perfetto trace JSON "
+            "(--trace-out) and/or a run-summary JSON (--metrics-out)"
+        )
+    events = load_trace_events(trace_file) if trace_file is not None else None
+    doc = analyze_trace(events=events, stats=stats, n_buckets=n_buckets)
+    doc["source"] = {
+        "trace": str(trace_file) if trace_file else None,
+        "stats": "embedded" if stats is not None else None,
+        "path": str(path),
+    }
+    return doc

@@ -33,17 +33,37 @@ _CSV_FIELDS = (
     "precision",
     "bytes",
     "flops",
+    "site",
+    "src_precision",
+    "dst_precision",
 )
 
 
-def write_perfetto_trace(events: Sequence, path: str | Path, *, counters: bool = True) -> Path:
-    """Write a Perfetto/Chrome trace JSON with metadata + counter tracks."""
+def write_perfetto_trace(
+    events: Sequence,
+    path: str | Path,
+    *,
+    counters: bool = True,
+    obs_events: Sequence[Mapping] | None = None,
+) -> Path:
+    """Write a Perfetto/Chrome trace JSON with metadata + counter tracks.
+
+    ``obs_events`` (records from :func:`repro.obs.read_events`) renders
+    fault/retry telemetry as instant markers alongside the slices.
+    """
     from ..runtime.gantt import to_chrome_trace
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(to_chrome_trace(events, counters=counters), encoding="utf-8")
+    path.write_text(
+        to_chrome_trace(events, counters=counters, obs_events=obs_events),
+        encoding="utf-8",
+    )
     return path
+
+
+def _prec_name(precision) -> str:
+    return precision.name if precision is not None else ""
 
 
 def trace_to_csv(events: Sequence) -> str:
@@ -63,6 +83,9 @@ def trace_to_csv(events: Sequence) -> str:
                 ev.precision.name if ev.precision is not None else "",
                 ev.bytes,
                 repr(ev.flops),
+                getattr(ev, "site", None) or "",
+                _prec_name(getattr(ev, "src_precision", None)),
+                _prec_name(getattr(ev, "dst_precision", None)),
             ]
         )
     return buf.getvalue()

@@ -12,11 +12,23 @@ This module gives the simulated traces the same affordances:
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from .tracing import TraceEvent
 
 __all__ = ["ascii_gantt", "to_chrome_trace", "engine_utilisation"]
+
+#: obs-event types rendered as Perfetto instant events (degraded-run
+#: markers: injected faults, retries, give-ups, dead/failed work)
+INSTANT_EVENT_TYPES = frozenset({
+    "fault",
+    "retry",
+    "retry.gave_up",
+    "sweep.point_failed",
+    "distributed.failure",
+    "distributed.degraded",
+    "montecarlo.replica_failed",
+})
 
 _GLYPH = {
     "POTRF": "P",
@@ -88,12 +100,15 @@ def _counter_events(events: Sequence[TraceEvent]) -> list[dict]:
       (h2d LOADs add at completion, d2h EVICTs subtract at start);
     * ``h2d inflight bytes`` / ``d2h inflight bytes`` — bytes currently
       on the wire of each copy engine;
+    * ``nic bytes (cum)`` — cumulative bytes injected by each node's NIC;
     * ``conversions (cum)`` — running count of CONVERT compute events.
     """
     # (ts_us, rank, track, delta, cumulative?)
     deltas: list[tuple[float, int, str, float]] = []
     for ev in events:
-        if ev.engine == "h2d":
+        if ev.engine == "nic":
+            deltas.append((ev.t_end * 1e6, ev.rank, "nic bytes (cum)", ev.bytes))
+        elif ev.engine == "h2d":
             deltas.append((ev.t_start * 1e6, ev.rank, "h2d inflight bytes", ev.bytes))
             deltas.append((ev.t_end * 1e6, ev.rank, "h2d inflight bytes", -ev.bytes))
             if ev.kind == "LOAD":
@@ -167,18 +182,70 @@ def _metadata_events(events: Sequence[TraceEvent]) -> list[dict]:
     return out
 
 
-def to_chrome_trace(events: Sequence[TraceEvent], *, counters: bool = False) -> str:
+def _instant_events(obs_events: Sequence[Mapping]) -> list[dict]:
+    """Render fault/retry telemetry records as Perfetto instant events.
+
+    ``obs_events`` are JSONL records from :func:`repro.obs.read_events`;
+    every record whose ``type`` is in :data:`INSTANT_EVENT_TYPES` becomes
+    a process-scoped instant marker, so degraded runs are visually
+    distinguishable in the trace viewer.  Timestamps are the event log's
+    monotonic seconds — the same clock only when the log was opened at
+    t=0 of the trace, which is close enough for spotting *that* and
+    roughly *where* faults fired.
+    """
+    out: list[dict] = []
+    for rec in obs_events:
+        type_ = rec.get("type")
+        if type_ not in INSTANT_EVENT_TYPES:
+            continue
+        attrs = rec.get("attrs") or {}
+        rank = attrs.get("rank")
+        out.append(
+            {
+                "name": type_,
+                "cat": "faults",
+                "ph": "i",
+                "ts": float(rec.get("ts", 0.0)) * 1e6,
+                "pid": int(rank) if isinstance(rank, (int, float)) else 0,
+                "tid": _TID["compute"],
+                "s": "p" if isinstance(rank, (int, float)) else "g",
+                "args": dict(attrs),
+            }
+        )
+    return out
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent],
+    *,
+    counters: bool = False,
+    obs_events: Sequence[Mapping] | None = None,
+) -> str:
     """Serialise the trace to Chrome/Perfetto trace-event JSON.
 
     Slice events come first, sorted by timestamp (stable output for
     diffing); ``counters=True`` appends the derived counter tracks
-    (memory-pool occupancy, in-flight copy bytes, cumulative
-    conversions); process/thread metadata events close the stream so
-    Perfetto labels every row.
+    (memory-pool occupancy, in-flight copy bytes, cumulative NIC bytes
+    and conversions); ``obs_events`` (JSONL records from an event log)
+    adds fault/retry instant markers; process/thread metadata events
+    close the stream so Perfetto labels every row.
     """
     ordered = sorted(events, key=lambda e: (e.t_start, e.rank, _TID.get(e.engine, 4)))
     out = []
     for ev in ordered:
+        args = {
+            "precision": ev.precision.name if ev.precision is not None else "",
+            "bytes": ev.bytes,
+            "flops": ev.flops,
+        }
+        if ev.site is not None:
+            args["site"] = ev.site
+            args["src_precision"] = (
+                ev.src_precision.name if ev.src_precision is not None else ""
+            )
+            args["dst_precision"] = (
+                ev.dst_precision.name if ev.dst_precision is not None else ""
+            )
         out.append(
             {
                 "name": ev.kind,
@@ -188,15 +255,13 @@ def to_chrome_trace(events: Sequence[TraceEvent], *, counters: bool = False) -> 
                 "dur": max(ev.t_end - ev.t_start, 0.0) * 1e6,
                 "pid": ev.rank,
                 "tid": _TID.get(ev.engine, 4),
-                "args": {
-                    "precision": ev.precision.name if ev.precision is not None else "",
-                    "bytes": ev.bytes,
-                    "flops": ev.flops,
-                },
+                "args": args,
             }
         )
     if counters:
         out.extend(_counter_events(ordered))
+    if obs_events:
+        out.extend(_instant_events(obs_events))
     out.extend(_metadata_events(ordered))
     return json.dumps({"traceEvents": out, "displayTimeUnit": "ms"})
 

@@ -185,7 +185,7 @@ def simulate(
         # keys are immutable per (tile, version, precision): an existing
         # host copy stays valid, so keep its earlier availability time
         host_ready[node].setdefault(key, end)
-        stats.d2h_bytes += nbytes
+        stats.add_d2h(key[3], nbytes)
         busy["d2h"] += end - start
         record(TraceEvent(rank, "d2h", "EVICT", start, end, key[3], nbytes))
 
@@ -206,7 +206,7 @@ def simulate(
             end = start + link_lat + nbytes / link_bw
             d2h_free[src_rank] = end
             host_ready[src_node][key] = end
-            stats.d2h_bytes += nbytes
+            stats.add_d2h(key[3], nbytes)
             busy["d2h"] += end - start
             record(TraceEvent(src_rank, "d2h", "STAGE", start, end, key[3], nbytes))
         if src_node == dest_node:
@@ -216,7 +216,7 @@ def simulate(
         end = start + nic_lat + nbytes / nic_bw
         nic_free[src_node] = end
         host_ready[dest_node][key] = end
-        stats.nic_bytes += nbytes
+        stats.add_nic(key[3], nbytes)
         busy["nic"] += end - start
         record(
             TraceEvent(
@@ -277,20 +277,23 @@ def simulate(
         protect.add(out_key)
 
         arrival = ready_t
-        conv_seconds = 0.0
-        n_conv = 0
+        # (site, src, dst, seconds) per conversion pass charged to this task
+        conversions: list[tuple[str, Precision, Precision, float]] = []
         for inp in task.inputs:
             arrival = max(arrival, _acquire(rank, inp, ready_t, protect))
             # receiver-side conversion (TTC, or residual re-encode under STC)
             if needs_conversion(inp.payload_precision, task.precision, inp.role):
-                conv_seconds += conversion_time(
-                    gpu, inp.elements, inp.payload_precision, task.precision
-                )
-                n_conv += 1
+                conversions.append((
+                    "ttc",
+                    inp.payload_precision,
+                    task.precision,
+                    conversion_time(gpu, inp.elements, inp.payload_precision, task.precision),
+                ))
         if task.sender_conversion is not None:
             src, dst = task.sender_conversion
-            conv_seconds += conversion_time(gpu, nb * nb, src, dst)
-            n_conv += 1
+            conversions.append(("stc", src, dst, conversion_time(gpu, nb * nb, src, dst)))
+        conv_seconds = sum(c[3] for c in conversions)
+        n_conv = len(conversions)
 
         start = max(compute_free[rank], arrival)
         exec_t = kernel_time(gpu, task.kind, nb, task.precision)
@@ -298,10 +301,23 @@ def simulate(
         compute_free[rank] = end
         task_end[tid] = end
 
-        if conv_seconds > 0.0:
+        conv_t = start
+        for site, src, dst, seconds in conversions:
             record(
-                TraceEvent(rank, "compute", "CONVERT", start, start + conv_seconds, task.precision)
+                TraceEvent(
+                    rank,
+                    "compute",
+                    "CONVERT",
+                    conv_t,
+                    conv_t + seconds,
+                    task.precision,
+                    site=site,
+                    src_precision=src,
+                    dst_precision=dst,
+                )
             )
+            conv_t += seconds
+            stats.add_conversion(site, seconds)
         record(
             TraceEvent(
                 rank,
@@ -315,8 +331,6 @@ def simulate(
             )
         )
         stats.add_flops(task.precision, task.flops)
-        stats.n_conversions += n_conv
-        stats.conversion_seconds += conv_seconds
         stats.n_tasks += 1
         busy["compute"] += end - start
         if n_conv:
@@ -360,12 +374,13 @@ def simulate(
         if seconds > 0.0:
             busy_metric.inc(seconds, engine=engine)
     bytes_metric = registry.counter("sim.bytes_moved", "bytes moved per link")
-    for precision, nbytes in stats.h2d_bytes_by_precision.items():
-        bytes_metric.inc(nbytes, link="h2d", precision=precision.name)
-    if stats.d2h_bytes:
-        bytes_metric.inc(stats.d2h_bytes, link="d2h")
-    if stats.nic_bytes:
-        bytes_metric.inc(stats.nic_bytes, link="nic")
+    for link, by_precision in (
+        ("h2d", stats.h2d_bytes_by_precision),
+        ("d2h", stats.d2h_bytes_by_precision),
+        ("nic", stats.nic_bytes_by_precision),
+    ):
+        for precision, nbytes in by_precision.items():
+            bytes_metric.inc(nbytes, link=link, precision=precision.name)
     registry.gauge("sim.makespan_seconds", "makespan of the last run").set(makespan)
     emit_event(
         "sim.complete",

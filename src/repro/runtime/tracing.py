@@ -2,11 +2,18 @@
 
 A :class:`TraceEvent` is one busy interval of one engine of one rank —
 compute (kernel or conversion), h2d/d2h copy, or NIC message.  The
-energy, occupancy, and reporting layers all consume this single schema.
+energy, occupancy, analysis, and reporting layers all consume this
+single schema.  ``CONVERT`` events additionally carry their conversion
+*site* (``"stc"`` for the one-off sender-side pass, ``"ttc"`` for
+receiver-side passes) and the source→destination precisions, so
+conversion time can be attributed per strategy (Section VI).
+
 :class:`RunStats` aggregates the counters the paper reports: bytes moved
-per link per precision (the data-motion reduction of Section VII-D),
-conversion counts/time (STC's "convert once" saving), flops per
-precision, and kernel/transfer busy time.
+per link per precision (the data-motion reduction of Section VII-D) —
+symmetrically for all three links, so STC-vs-TTC byte accounting works
+on the NIC as well as h2d — conversion counts/time split by site (STC's
+"convert once" saving), flops per precision, and kernel/transfer busy
+time.
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ class TraceEvent:
     precision: Precision | None = None
     bytes: int = 0
     flops: float = 0.0
+    #: conversion site for CONVERT events: "stc" | "ttc" (None otherwise)
+    site: str | None = None
+    #: source/destination precision of a CONVERT pass (None otherwise)
+    src_precision: Precision | None = None
+    dst_precision: Precision | None = None
 
     @property
     def duration(self) -> float:
@@ -44,16 +56,26 @@ class RunStats:
     total_flops: float = 0.0
     flops_by_precision: dict[Precision, float] = field(default_factory=dict)
     h2d_bytes_by_precision: dict[Precision, int] = field(default_factory=dict)
-    d2h_bytes: int = 0
-    nic_bytes: int = 0
+    d2h_bytes_by_precision: dict[Precision, int] = field(default_factory=dict)
+    nic_bytes_by_precision: dict[Precision, int] = field(default_factory=dict)
     n_conversions: int = 0
     conversion_seconds: float = 0.0
+    conversions_by_site: dict[str, int] = field(default_factory=dict)
+    conversion_seconds_by_site: dict[str, float] = field(default_factory=dict)
     n_tasks: int = 0
     n_evictions: int = 0
 
     @property
     def h2d_bytes(self) -> int:
         return sum(self.h2d_bytes_by_precision.values())
+
+    @property
+    def d2h_bytes(self) -> int:
+        return sum(self.d2h_bytes_by_precision.values())
+
+    @property
+    def nic_bytes(self) -> int:
+        return sum(self.nic_bytes_by_precision.values())
 
     @property
     def gflops(self) -> float:
@@ -75,6 +97,25 @@ class RunStats:
             self.h2d_bytes_by_precision.get(precision, 0) + nbytes
         )
 
+    def add_d2h(self, precision: Precision, nbytes: int) -> None:
+        self.d2h_bytes_by_precision[precision] = (
+            self.d2h_bytes_by_precision.get(precision, 0) + nbytes
+        )
+
+    def add_nic(self, precision: Precision, nbytes: int) -> None:
+        self.nic_bytes_by_precision[precision] = (
+            self.nic_bytes_by_precision.get(precision, 0) + nbytes
+        )
+
+    def add_conversion(self, site: str, seconds: float) -> None:
+        """Count one conversion pass at ``site`` ("stc" | "ttc")."""
+        self.n_conversions += 1
+        self.conversion_seconds += seconds
+        self.conversions_by_site[site] = self.conversions_by_site.get(site, 0) + 1
+        self.conversion_seconds_by_site[site] = (
+            self.conversion_seconds_by_site.get(site, 0.0) + seconds
+        )
+
     def to_dict(self) -> dict:
         """Serialise every counter to plain JSON-ready types."""
         return {
@@ -90,9 +131,17 @@ class RunStats:
                 p.name: v for p, v in sorted(self.h2d_bytes_by_precision.items(), reverse=True)
             },
             "d2h_bytes": self.d2h_bytes,
+            "d2h_bytes_by_precision": {
+                p.name: v for p, v in sorted(self.d2h_bytes_by_precision.items(), reverse=True)
+            },
             "nic_bytes": self.nic_bytes,
+            "nic_bytes_by_precision": {
+                p.name: v for p, v in sorted(self.nic_bytes_by_precision.items(), reverse=True)
+            },
             "n_conversions": self.n_conversions,
             "conversion_seconds": self.conversion_seconds,
+            "conversions_by_site": dict(sorted(self.conversions_by_site.items())),
+            "conversion_seconds_by_site": dict(sorted(self.conversion_seconds_by_site.items())),
             "n_tasks": self.n_tasks,
             "n_evictions": self.n_evictions,
         }

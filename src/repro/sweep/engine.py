@@ -258,6 +258,10 @@ class SweepResult:
                 "total_plan_seconds": sum(r.result.get("plan_seconds", 0.0) for r in ok),
                 "total_sim_seconds": sum(r.result.get("sim_seconds", 0.0) for r in ok),
                 "planned_tasks": sum(r.result.get("n_tasks", 0) for r in ok),
+                "total_h2d_bytes": sum(r.result.get("h2d_bytes", 0) for r in ok),
+                "total_d2h_bytes": sum(r.result.get("d2h_bytes", 0) for r in ok),
+                "total_nic_bytes": sum(r.result.get("nic_bytes", 0) for r in ok),
+                "total_conversions": sum(r.result.get("n_conversions", 0) for r in ok),
             },
             "runs": [
                 {
@@ -271,6 +275,25 @@ class SweepResult:
                 for r in self.runs
             ],
         }
+
+    def summary_stats(self) -> dict:
+        """Campaign-level counters in run-summary form.
+
+        A flat numeric dict (``makespan_seconds`` key included so
+        :func:`repro.obs.regress.load_metric_scopes` recognizes it) for
+        embedding into ``--metrics-out`` summaries, making a campaign
+        diffable by ``repro compare`` just like a single run.
+        """
+        bench = self.to_bench_json()
+        stats = dict(bench["aggregates"])
+        stats.update(
+            makespan_seconds=stats.pop("total_sim_makespan_seconds", 0.0),
+            n_runs=self.n_runs,
+            n_failed=self.n_failed,
+            total_retries=self.total_retries,
+            cache_hit_fraction=self.cache_hit_fraction,
+        )
+        return stats
 
     def write_bench_json(self, out_dir: str | Path) -> Path:
         """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path."""

@@ -27,7 +27,8 @@ __all__ = ["RunSpec", "SweepGrid", "KERNEL_CONFIGS"]
 
 #: schema version folded into every cache key — bump when the result
 #: JSON layout or the simulation semantics change incompatibly
-CACHE_SCHEMA = 2
+#: (3: per-precision d2h/nic byte splits + conversion-site attribution)
+CACHE_SCHEMA = 3
 
 #: supported kernel-precision configurations; "adaptive" builds the map
 #: from sampled tile norms of the named application at ``accuracy``

@@ -80,9 +80,9 @@ class TestPerfettoExport:
                 if e.get("ph") == "C" and e["name"] == "conversions (cum)"]
         n_convert_events = sum(1 for e in sim_report.trace.events if e.kind == "CONVERT")
         assert conv[-1]["args"]["value"] == n_convert_events
-        # a task's conversions are merged into one CONVERT slice, so the
-        # track is a lower bound on the per-conversion counter
-        assert 0 < n_convert_events <= sim_report.stats.n_conversions
+        # one CONVERT slice per conversion pass (site-tagged), so the
+        # track ends exactly at the stats counter
+        assert 0 < n_convert_events == sim_report.stats.n_conversions
         values = [e["args"]["value"] for e in conv]
         assert values == sorted(values)  # cumulative ⇒ non-decreasing
 
@@ -91,6 +91,34 @@ class TestPerfettoExport:
         h2d = [e for e in payload["traceEvents"]
                if e.get("ph") == "C" and e["name"] == "h2d inflight bytes"]
         assert h2d[-1]["args"]["value"] == 0
+
+    def test_nic_counter_accumulates_per_rank(self):
+        events = [
+            TraceEvent(0, "nic", "SEND", 0.0, 0.1, None, 100),
+            TraceEvent(0, "nic", "SEND", 0.1, 0.3, None, 50),
+            TraceEvent(1, "nic", "SEND", 0.0, 0.2, None, 7),
+        ]
+        payload = json.loads(to_chrome_trace(events, counters=True))
+        nic = [e for e in payload["traceEvents"]
+               if e.get("ph") == "C" and e["name"] == "nic bytes (cum)"]
+        final = {e["pid"]: e["args"]["value"] for e in nic}
+        assert final == {0: 150, 1: 7}  # cumulative, last sample wins per rank
+
+    def test_obs_events_become_instant_markers(self, sim_report):
+        obs_events = [
+            {"type": "fault", "ts": 0.5, "attrs": {"kind": "transient", "rank": 1}},
+            {"type": "retry", "ts": 0.6, "attrs": {"op": "sweep.point"}},
+            {"type": "sweep.run", "ts": 0.7, "attrs": {}},  # not a fault marker
+        ]
+        payload = json.loads(to_chrome_trace(sim_report.trace.events,
+                                             obs_events=obs_events))
+        instants = [e for e in payload["traceEvents"] if e.get("ph") == "i"]
+        assert {e["name"] for e in instants} == {"fault", "retry"}
+        fault = next(e for e in instants if e["name"] == "fault")
+        assert fault["pid"] == 1 and fault["s"] == "p"  # rank-scoped
+        retry = next(e for e in instants if e["name"] == "retry")
+        assert retry["s"] == "g"  # no rank → global scope
+        assert fault["ts"] == pytest.approx(0.5e6)
 
     def test_metadata_names_processes_and_threads(self, sim_report):
         payload = json.loads(to_chrome_trace(sim_report.trace.events))
