@@ -13,6 +13,10 @@ Commands
               attribution, critical path, utilization (trace or run dir)
 ``compare``   regression sentinel: diff BENCH/run-summary documents with
               per-metric thresholds; ``--fail-on-regress`` gates CI
+``schedule-compare``
+              price one configuration under several scheduling policies
+              (see ``docs/SCHEDULING.md``) and diff each against a
+              baseline policy via the regression-sentinel report format
 
 Telemetry flags (see ``docs/OBSERVABILITY.md``): ``simulate`` takes
 ``--trace-out`` (Perfetto JSON with counter tracks), ``--metrics-out``
@@ -35,6 +39,8 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .runtime.policies import POLICY_NAMES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Adaptive mixed-precision Cholesky for geospatial modeling "
@@ -74,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="FP64/FP16",
                    choices=["FP64", "FP32", "FP64/FP16_32", "FP64/FP16"])
     p.add_argument("--strategy", default="auto", choices=["auto", "stc", "ttc"])
+    p.add_argument("--policy", default="panel-first", choices=list(POLICY_NAMES),
+                   help="scheduling policy for the ready heap "
+                        "(default: panel-first; see docs/SCHEDULING.md)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Perfetto/Chrome trace JSON with counter tracks")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -109,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="u_req axis for adaptive configs; repeatable")
     p.add_argument("--seed", type=int, action="append", default=None,
                    help="seed axis (adaptive norm sampling); repeatable (default: 0)")
+    p.add_argument("--policy", action="append", default=None,
+                   choices=list(POLICY_NAMES),
+                   help="scheduling-policy axis; repeatable (default: panel-first)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool width for cache misses (default: 1)")
     p.add_argument("--cache-dir", default=".sweep-cache", metavar="DIR",
@@ -166,6 +178,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print every compared metric, not just the deltas")
     p.add_argument("--report-out", default=None, metavar="PATH",
                    help="write the machine-readable verdict JSON")
+
+    p = sub.add_parser(
+        "schedule-compare",
+        help="price one configuration under several scheduling policies",
+    )
+    p.add_argument("--gpu", default="V100", choices=["V100", "A100", "H100"])
+    p.add_argument("--gpus", type=int, default=1, help="GPUs per node")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--n", type=int, default=2048)
+    p.add_argument("--nb", type=int, default=128)
+    p.add_argument("--config", default="FP64/FP16_32",
+                   choices=["FP64", "FP32", "FP64/FP16_32", "FP64/FP16"])
+    p.add_argument("--strategy", default="auto", choices=["auto", "stc", "ttc"])
+    p.add_argument("--policy", action="append", default=None,
+                   choices=list(POLICY_NAMES),
+                   help="policy to include; repeatable (default: all policies)")
+    p.add_argument("--baseline", default="panel-first", choices=list(POLICY_NAMES),
+                   help="policy the others are diffed against (default: panel-first)")
+    p.add_argument("--fail-on-regress", action="store_true",
+                   help="exit non-zero when a policy regresses beyond threshold "
+                        "against the baseline")
+    p.add_argument("--report-out", default=None, metavar="PATH",
+                   help="write the per-policy regression verdicts as JSON")
 
     p = sub.add_parser("bench", help="run one experiment driver")
     p.add_argument("target", choices=[
@@ -274,10 +309,11 @@ def _cmd_simulate(args) -> int:
         if args.events_out:
             stack.enter_context(obs.event_log(args.events_out, run_id=args.run_id))
         rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
-                                record_events=record_events)
+                                record_events=record_events, policy=args.policy)
 
     print(f"{args.config} on {args.nodes}x{args.gpus}x{args.gpu} "
-          f"(n={args.n}, nb={args.nb}, {args.strategy.upper()}):")
+          f"(n={args.n}, nb={args.nb}, {args.strategy.upper()}, "
+          f"policy {rep.policy}):")
     d = rep.stats.to_dict()
     print(f"  makespan   {d['makespan_seconds']:.4f} s")
     print(f"  throughput {d['tflops']:.1f} Tflop/s")
@@ -291,7 +327,8 @@ def _cmd_simulate(args) -> int:
         # fault/retry obs events (if captured) ride along as instants
         obs_events = obs.read_events(args.events_out) if args.events_out else None
         obs.write_perfetto_trace(rep.trace.events, args.trace_out, counters=True,
-                                 obs_events=obs_events)
+                                 obs_events=obs_events,
+                                 metadata={"policy": rep.policy})
         print(f"  trace   → {args.trace_out}")
     if args.csv_out:
         obs.write_trace_csv(rep.trace.events, args.csv_out)
@@ -332,6 +369,7 @@ def _cmd_sweep(args) -> int:
         app=args.app or ["2d-matern"],
         accuracy=args.accuracy or [None],
         seed=args.seed or [0],
+        policy=args.policy or ["panel-first"],
         name=args.name,
     )
     with contextlib.ExitStack() as stack:
@@ -514,6 +552,99 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_schedule_compare(args) -> int:
+    import json
+
+    from .bench.reporting import format_table
+    from .core import (
+        ConversionStrategy,
+        simulate_cholesky,
+        two_precision_map,
+        uniform_map,
+    )
+    from .obs.regress import compare_docs
+    from .perfmodel import GPU_BY_NAME, NodeSpec
+    from .perfmodel.energy import energy_report
+    from .precision import Precision
+    from .runtime import POLICY_NAMES, Platform
+
+    policies = list(dict.fromkeys(args.policy)) if args.policy else list(POLICY_NAMES)
+    if args.baseline not in policies:
+        policies.insert(0, args.baseline)
+
+    gpu = GPU_BY_NAME[args.gpu]
+    node = NodeSpec("cli", gpu, args.gpus, 256e9, 25e9, 1.5e-6)
+    platform = Platform(node=node, n_nodes=args.nodes)
+    nt = -(-args.n // args.nb)
+    kmap = {
+        "FP64": uniform_map(nt, Precision.FP64),
+        "FP32": uniform_map(nt, Precision.FP32),
+        "FP64/FP16_32": two_precision_map(nt, Precision.FP16_32),
+        "FP64/FP16": two_precision_map(nt, Precision.FP16),
+    }[args.config]
+    strategy = ConversionStrategy(args.strategy)
+
+    rows = []
+    metrics: dict[str, dict] = {}
+    for pol in policies:
+        rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
+                                record_events=True, policy=pol)
+        energy = energy_report(gpu, rep.trace.events, rep.makespan)
+        d = rep.stats.to_dict()
+        d["energy_joules"] = energy.total_joules
+        metrics[pol] = d
+        rows.append((
+            pol,
+            f"{d['makespan_seconds']:.6g}",
+            f"{d['tflops']:.1f}",
+            f"{d['h2d_bytes'] / 1e9:.3f}",
+            f"{d['d2h_bytes'] / 1e9:.3f}",
+            f"{d['nic_bytes'] / 1e9:.3f}",
+            d["n_conversions"],
+            f"{energy.total_joules:.1f}",
+        ))
+    title = (f"schedule-compare: {args.config}/{args.strategy} n={args.n} "
+             f"nb={args.nb} {args.nodes}x{args.gpus}x{args.gpu}")
+    print(format_table(
+        ("policy", "makespan_s", "tflops", "h2d_gb", "d2h_gb", "nic_gb",
+         "conversions", "energy_j"),
+        rows, title=title,
+    ))
+
+    # diff every non-baseline policy against the baseline with the same
+    # report format (repro.obs.regress/1) the regression sentinel emits
+    reports = [
+        compare_docs(metrics[args.baseline], metrics[pol],
+                     baseline_name=f"policy:{args.baseline}",
+                     candidate_name=f"policy:{pol}")
+        for pol in policies if pol != args.baseline
+    ]
+    for report in reports:
+        print()
+        print(report.table())
+    if args.report_out:
+        out = Path(args.report_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": "repro.obs.regress/1+multi",
+            "baseline_policy": args.baseline,
+            "config": {"n": args.n, "nb": args.nb, "config": args.config,
+                       "strategy": args.strategy, "gpu": args.gpu,
+                       "gpus_per_node": args.gpus, "n_nodes": args.nodes},
+            "metrics": metrics,
+            "reports": [r.to_dict() for r in reports],
+        }
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"  verdict → {args.report_out}")
+    n_regressions = sum(r.n_regressions for r in reports)
+    if args.fail_on_regress and n_regressions:
+        print(f"schedule-compare: {n_regressions} regression(s) beyond threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench import (
         fig1_performance_rows,
@@ -583,6 +714,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
+        "schedule-compare": _cmd_schedule_compare,
     }[args.command]
     return handler(args)
 

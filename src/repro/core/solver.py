@@ -132,12 +132,14 @@ def simulate_cholesky(
     strategy: ConversionStrategy = ConversionStrategy.AUTO,
     enforce_memory: bool = True,
     record_events: bool = True,
+    policy: str | None = None,
 ) -> SimReport:
     """Symbolic (time-only) mixed-precision Cholesky on a platform.
 
     No numerics: the DAG is built and priced, which is how the large
     matrix sizes of Figs. 8–11 are reproduced without forming the
-    matrices.
+    matrices.  ``policy`` selects the scheduling policy (see
+    :mod:`repro.runtime.policies`; default ``panel-first``).
     """
     dag = build_cholesky_dag(
         n,
@@ -152,4 +154,5 @@ def simulate_cholesky(
         nb,
         enforce_memory=enforce_memory,
         record_events=record_events,
+        policy=policy,
     )

@@ -45,18 +45,22 @@ def write_perfetto_trace(
     *,
     counters: bool = True,
     obs_events: Sequence[Mapping] | None = None,
+    metadata: Mapping[str, object] | None = None,
 ) -> Path:
     """Write a Perfetto/Chrome trace JSON with metadata + counter tracks.
 
     ``obs_events`` (records from :func:`repro.obs.read_events`) renders
-    fault/retry telemetry as instant markers alongside the slices.
+    fault/retry telemetry as instant markers alongside the slices;
+    ``metadata`` (e.g. the scheduling policy) lands in the trace's
+    top-level ``"metadata"`` object.
     """
     from ..runtime.gantt import to_chrome_trace
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        to_chrome_trace(events, counters=counters, obs_events=obs_events),
+        to_chrome_trace(events, counters=counters, obs_events=obs_events,
+                        metadata=metadata),
         encoding="utf-8",
     )
     return path

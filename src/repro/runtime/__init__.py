@@ -7,16 +7,33 @@ from .executor import execute_numeric
 from .gantt import ascii_gantt, engine_utilisation, to_chrome_trace
 from .parallel_executor import execute_numeric_parallel
 from .platform import Platform
+from .policies import (
+    POLICY_NAMES,
+    CommAwareEftPolicy,
+    CriticalPathPolicy,
+    FifoPolicy,
+    PanelFirstPolicy,
+    SchedulePolicy,
+    get_policy,
+    policy_topological_order,
+    register_policy,
+)
 from .simulator import SimReport, simulate
 from .task import Task, TaskGraph, TaskInput, TileRef
 from .tracing import RunStats, Trace, TraceEvent
 
 __all__ = [
     "AccessMode",
+    "CommAwareEftPolicy",
+    "CriticalPathPolicy",
     "DTDRuntime",
     "DataAccess",
     "DistributedReport",
+    "FifoPolicy",
+    "POLICY_NAMES",
+    "PanelFirstPolicy",
     "Platform",
+    "SchedulePolicy",
     "RunStats",
     "SimReport",
     "Task",
@@ -32,7 +49,10 @@ __all__ = [
     "execute_numeric",
     "execute_numeric_distributed",
     "execute_numeric_parallel",
+    "get_policy",
     "pick_mp_context",
+    "policy_topological_order",
+    "register_policy",
     "simulate",
     "to_chrome_trace",
     "unroll",

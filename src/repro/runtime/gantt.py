@@ -220,6 +220,7 @@ def to_chrome_trace(
     *,
     counters: bool = False,
     obs_events: Sequence[Mapping] | None = None,
+    metadata: Mapping[str, object] | None = None,
 ) -> str:
     """Serialise the trace to Chrome/Perfetto trace-event JSON.
 
@@ -228,7 +229,9 @@ def to_chrome_trace(
     (memory-pool occupancy, in-flight copy bytes, cumulative NIC bytes
     and conversions); ``obs_events`` (JSONL records from an event log)
     adds fault/retry instant markers; process/thread metadata events
-    close the stream so Perfetto labels every row.
+    close the stream so Perfetto labels every row.  ``metadata`` lands
+    as the top-level ``"metadata"`` object (Perfetto surfaces it under
+    Info & stats) — e.g. the scheduling policy that produced the trace.
     """
     ordered = sorted(events, key=lambda e: (e.t_start, e.rank, _TID.get(e.engine, 4)))
     out = []
@@ -263,7 +266,10 @@ def to_chrome_trace(
     if obs_events:
         out.extend(_instant_events(obs_events))
     out.extend(_metadata_events(ordered))
-    return json.dumps({"traceEvents": out, "displayTimeUnit": "ms"})
+    doc: dict[str, object] = {"traceEvents": out, "displayTimeUnit": "ms"}
+    if metadata:
+        doc["metadata"] = dict(metadata)
+    return json.dumps(doc)
 
 
 def engine_utilisation(

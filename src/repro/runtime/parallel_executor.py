@@ -7,11 +7,12 @@ threads.  NumPy kernels release the GIL inside BLAS, so tile kernels on
 independent tiles genuinely overlap.
 
 Scheduling is a thread-pool over the dependency frontier: a task becomes
-runnable when its last predecessor completes; ties are broken by the
-same panel-first priority the simulator uses.  Results are bit-identical
-to the sequential executor (asserted by tests) because every task
-consumes exactly the payloads its inputs name — execution order cannot
-change the arithmetic.
+runnable when its last predecessor completes; ties are broken by a
+pluggable :class:`~repro.runtime.policies.SchedulePolicy` (default: the
+same panel-first priority the simulator uses).  Results are bit-identical
+to the sequential executor — and across policies — because every task
+consumes exactly the payloads its inputs name; execution order cannot
+change the arithmetic (asserted by tests).
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ import numpy as np
 from ..obs import span, traced
 from ..tiles.tilematrix import TiledSymmetricMatrix
 from .executor import _run_task
+from .policies import SchedulePolicy, resolve_policy
 from .task import TaskGraph
 
 __all__ = ["execute_numeric_parallel"]
@@ -36,13 +38,18 @@ def execute_numeric_parallel(
     mat: TiledSymmetricMatrix,
     *,
     n_threads: int = 4,
+    policy: str | SchedulePolicy | None = None,
 ) -> TiledSymmetricMatrix:
     """Run the task graph numerically on ``n_threads`` host threads.
 
     Same contract as :func:`repro.runtime.executor.execute_numeric`.
+    ``policy`` orders the ready heap (default panel-first); it changes
+    which runnable task a free thread grabs, never the arithmetic.
     """
     if n_threads < 1:
         raise ValueError("n_threads must be positive")
+    sched = resolve_policy(policy)
+    sched.prepare(graph, None, mat.nb)
     out = mat.copy()
 
     values: dict[tuple[int, int, int], np.ndarray] = {}
@@ -58,10 +65,10 @@ def execute_numeric_parallel(
     n = len(graph)
     in_count = [len(graph.predecessors(t)) for t in range(n)]
     lock = threading.Lock()
-    ready: list[tuple[int, int]] = []  # (priority, tid)
+    ready: list[tuple[float, float, int]] = []  # (*policy key, tid)
     for tid in range(n):
         if in_count[tid] == 0:
-            heapq.heappush(ready, (graph.tasks[tid].priority, tid))
+            heapq.heappush(ready, (*sched.key(graph.tasks[tid], 0.0), tid))
     done = threading.Event()
     errors: list[BaseException] = []
     remaining = [n]
@@ -92,7 +99,7 @@ def execute_numeric_parallel(
             if remaining[0] == 0:
                 done.set()
             for s in newly_ready:
-                heapq.heappush(ready, (graph.tasks[s].priority, s))
+                heapq.heappush(ready, (*sched.key(graph.tasks[s], 0.0), s))
 
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         # simple work loop: each worker pops the highest-priority ready
@@ -105,7 +112,7 @@ def execute_numeric_parallel(
                     if not ready:
                         task_id = None
                     else:
-                        _prio, task_id = heapq.heappop(ready)
+                        task_id = heapq.heappop(ready)[-1]
                 if task_id is None:
                     done.wait(timeout=0.001)
                     continue

@@ -1,0 +1,349 @@
+"""Pluggable scheduling policies for the task runtime.
+
+The paper's performance results hinge on PaRSEC's asynchronous
+priority-driven scheduler overlapping communication, conversion, and
+compute; which tasks the scheduler favours when several are ready at
+once is exactly the scheduler-sensitivity behind the STC-vs-TTC
+comparisons (Section V) and the lookahead discussion of the tile-centric
+mixed-precision GEMM line of work.  This module makes that choice a
+first-class, swappable object instead of a heuristic hard-coded in
+:func:`repro.runtime.simulator.simulate`.
+
+A :class:`SchedulePolicy` ranks *ready* tasks: the simulator (and the
+numeric executors) keep a heap of ready tasks keyed by the explicit
+triple ``(*policy.key(task, ready_t), tid)`` — the policy owns the
+first two comparator fields, the task id always closes the key so every
+policy is fully deterministic.  Only tasks whose predecessors have all
+been scheduled enter the heap, so a policy can change *timing*
+(makespan, overlap, cache behaviour) but never *numerics* (every task
+still consumes exactly the payloads its inputs name).
+
+Shipped policies
+----------------
+``panel-first``    the classic Cholesky priority (panel tasks of earlier
+                   iterations first) the simulator always used; the
+                   default, and regression-pinned to be bit-identical to
+                   the pre-policy scheduler.
+``fifo``           degenerate baseline: ready ties broken by task id
+                   (submission order) only.
+``critical-path``  priorities from a backward longest-path pass over the
+                   task graph under the perfmodel cost estimates: among
+                   ready tasks, the one with the longest remaining
+                   dependent chain is committed first (HEFT's upward
+                   rank restricted to owner-computes) — the lookahead
+                   that keeps the panel chain ahead of trailing updates.
+``comm-aware-eft`` earliest-finish-time: ready tasks are ordered by
+                   their estimated completion instant — ready time plus
+                   h2d/NIC staging for inputs not resident on the owning
+                   GPU, datatype conversions, and the kernel — so tasks
+                   whose tiles are hot on their GPU go first and stay
+                   resident.
+
+Adding a policy: subclass :class:`SchedulePolicy`, implement ``key``
+(and optionally ``prepare``), and register the class with
+:func:`register_policy`.  See ``docs/SCHEDULING.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..perfmodel.kernels import conversion_time, kernel_time
+from ..precision.formats import bytes_per_element
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .platform import Platform
+    from .task import Task, TaskGraph
+
+__all__ = [
+    "SchedulePolicy",
+    "SchedState",
+    "PanelFirstPolicy",
+    "FifoPolicy",
+    "CriticalPathPolicy",
+    "CommAwareEftPolicy",
+    "POLICY_NAMES",
+    "get_policy",
+    "register_policy",
+    "resolve_policy",
+]
+
+
+@dataclass
+class SchedState:
+    """Read-only snapshot of simulator state a policy may consult.
+
+    Only :class:`CommAwareEftPolicy` uses it today; the numeric
+    executors pass ``None`` (they have no engine/cache model), so a
+    policy must degrade gracefully to a static score without it.
+    ``resident(rank, key)`` answers whether a payload key already sits
+    in ``rank``'s GPU cache; ``host_resident(node, key)`` whether the
+    node's host memory holds it.
+    """
+
+    resident: Callable[[int, tuple], bool]
+    host_resident: Callable[[int, tuple], bool]
+
+
+class SchedulePolicy:
+    """Orders the ready heap; lower keys pop (= commit to their engine) first."""
+
+    #: registry name; subclasses must override
+    name: str = "abstract"
+
+    def prepare(self, graph: "TaskGraph", platform: "Platform | None", nb: int) -> None:
+        """Precompute whatever ``key`` needs; called once per run."""
+
+    def key(
+        self, task: "Task", ready_t: float, state: SchedState | None = None
+    ) -> tuple[float, float]:
+        """The first two heap-comparator fields for a ready ``task``.
+
+        The scheduler appends ``task.tid`` as the final field, so the
+        full comparator is the explicit triple ``(*key, tid)``.  A task
+        enters the heap only once all its predecessors are scheduled;
+        popping in any order is a valid schedule, so the key expresses
+        pure preference (which ready task each engine commits to next).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PanelFirstPolicy(SchedulePolicy):
+    """The original scheduler: ready-time order, ties by static priority.
+
+    Comparator ``(ready, task.priority, tid)`` — for the Cholesky PTG
+    the priority field is ``4·k + kind``, so panel tasks (POTRF/TRSM) of
+    earlier iterations sort before trailing updates among equal-ready
+    tasks.  This policy is pinned bit-identical to the pre-policy
+    simulator.
+    """
+
+    name = "panel-first"
+
+    def key(
+        self, task: "Task", ready_t: float, state: SchedState | None = None
+    ) -> tuple[float, float]:
+        return (ready_t, task.priority)
+
+
+class FifoPolicy(SchedulePolicy):
+    """Degenerate baseline: ready-time order, ties by task id alone."""
+
+    name = "fifo"
+
+    def key(
+        self, task: "Task", ready_t: float, state: SchedState | None = None
+    ) -> tuple[float, float]:
+        return (ready_t, 0.0)
+
+
+def _task_cost(task: "Task", platform: "Platform | None", nb: int) -> float:
+    """Perfmodel seconds charged to ``task``'s compute stream.
+
+    Kernel time plus every conversion pass the simulator will bill the
+    task (receiver-side re-encodes and the one-off STC pass), priced on
+    the platform GPU — the same :mod:`repro.perfmodel` estimates the
+    simulator itself uses, so graph-level longest paths are commensurate
+    with simulated makespans.  Without a platform (numeric executors)
+    the cost degrades to flops, which preserves the ordering intent.
+    """
+    if platform is None:
+        return float(task.flops)
+    from ..core.conversion import needs_conversion
+
+    gpu = platform.gpu
+    seconds = kernel_time(gpu, task.kind, nb, task.precision)
+    for inp in task.inputs:
+        if needs_conversion(inp.payload_precision, task.precision, inp.role):
+            seconds += conversion_time(gpu, inp.elements, inp.payload_precision, task.precision)
+    if task.sender_conversion is not None:
+        src, dst = task.sender_conversion
+        seconds += conversion_time(gpu, nb * nb, src, dst)
+    return seconds
+
+
+class CriticalPathPolicy(SchedulePolicy):
+    """Backward longest-path (upward-rank) lookahead.
+
+    ``rank_u(t) = cost(t) + max over successors of rank_u(s)`` — the
+    length of the longest dependent chain hanging off each task under
+    the perfmodel cost estimates.  The comparator is
+    ``(-rank_u, ready, tid)``: among ready tasks, the one with the most
+    remaining critical work is committed to its engine first even when a
+    shorter task became ready earlier — the list-scheduling counterpart
+    of PaRSEC's critical-path lookahead, which keeps panel chains ahead
+    of trailing updates.  The same longest-path structure is what
+    :func:`repro.obs.analysis.critical_path` recovers from a finished
+    trace; here the pass runs a priori on the graph.
+    """
+
+    name = "critical-path"
+
+    def __init__(self) -> None:
+        self._upward: list[float] = []
+
+    def prepare(self, graph: "TaskGraph", platform: "Platform | None", nb: int) -> None:
+        n = len(graph)
+        upward = [0.0] * n
+        # task ids are topological (finalize() enforces producer < consumer),
+        # so one reverse sweep is the whole backward pass
+        for tid in range(n - 1, -1, -1):
+            tail = max((upward[s] for s in graph.successors(tid)), default=0.0)
+            upward[tid] = _task_cost(graph.tasks[tid], platform, nb) + tail
+        self._upward = upward
+
+    def key(
+        self, task: "Task", ready_t: float, state: SchedState | None = None
+    ) -> tuple[float, float]:
+        return (-self._upward[task.tid], ready_t)
+
+
+class CommAwareEftPolicy(SchedulePolicy):
+    """Earliest-finish-time with per-input staging charges.
+
+    Each ready task is keyed by its estimated completion instant: ready
+    time plus the seconds it still needs — every input payload not
+    resident on the owning GPU is charged its h2d copy (plus the
+    producer's d2h and one NIC hop when the consumer node's host doesn't
+    hold it either), conversions and the kernel are priced by the
+    perfmodel — and the earliest-finishing task commits first.  Hot
+    tiles — inputs already on the GPU — make a task cheap, so it runs
+    before the LRU can evict them; cold tasks sort later, batching their
+    transfers.  Residency is snapshotted when the task enters the heap.
+    """
+
+    name = "comm-aware-eft"
+
+    def __init__(self) -> None:
+        self._platform: "Platform | None" = None
+        self._nb = 0
+        self._static: list[float] = []
+
+    def prepare(self, graph: "TaskGraph", platform: "Platform | None", nb: int) -> None:
+        self._platform = platform
+        self._nb = nb
+        self._static = [_task_cost(t, platform, nb) for t in graph.tasks]
+
+    def key(
+        self, task: "Task", ready_t: float, state: SchedState | None = None
+    ) -> tuple[float, float]:
+        seconds = self._static[task.tid]
+        platform = self._platform
+        if platform is None or state is None:
+            return (ready_t + seconds, 0.0)
+        gpu = platform.gpu
+        link_lat = gpu.host_link_latency
+        link_bw = gpu.host_link_bandwidth
+        nic_lat = platform.node.nic_latency
+        nic_bw = platform.node.nic_bandwidth
+        node = platform.node_of(task.rank)
+        for inp in task.inputs:
+            key = (inp.tile.i, inp.tile.j, inp.tile.version, inp.payload_precision)
+            if state.resident(task.rank, key):
+                continue
+            nbytes = inp.elements * bytes_per_element(inp.payload_precision)
+            seconds += link_lat + nbytes / link_bw  # h2d at the consumer
+            if not state.host_resident(node, key):
+                # producer's d2h plus (pessimistically) one NIC hop
+                seconds += link_lat + nbytes / link_bw
+                seconds += nic_lat + nbytes / nic_bw
+        return (ready_t + seconds, 0.0)
+
+
+#: name -> zero-arg policy factory (classes are stateful per run)
+_REGISTRY: dict[str, Callable[[], SchedulePolicy]] = {}
+
+
+#: registered policy names, registration order (panel-first is default);
+#: rebuilt by :func:`register_policy` — import from this module at call
+#: time to observe late registrations
+POLICY_NAMES: tuple[str, ...] = ()
+
+
+def register_policy(factory: Callable[[], SchedulePolicy], name: str | None = None) -> None:
+    """Register a policy factory under ``name`` (default: its ``name`` attr).
+
+    Registered names join :data:`POLICY_NAMES` and become valid for
+    every ``policy=`` argument, ``--policy`` flag, and the
+    ``RunSpec.policy`` sweep axis.
+    """
+    global POLICY_NAMES
+    name = name or factory().name
+    _REGISTRY[name] = factory
+    POLICY_NAMES = tuple(_REGISTRY)
+
+
+for _cls in (PanelFirstPolicy, FifoPolicy, CriticalPathPolicy, CommAwareEftPolicy):
+    register_policy(_cls)
+
+
+def get_policy(name: str) -> SchedulePolicy:
+    """A fresh policy instance for ``name``; raises on unknown names."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None
+
+
+def resolve_policy(policy: "str | SchedulePolicy | None") -> SchedulePolicy:
+    """Accept a policy name, instance, or None (→ the default policy)."""
+    if policy is None:
+        return PanelFirstPolicy()
+    if isinstance(policy, SchedulePolicy):
+        return policy
+    return get_policy(policy)
+
+
+def policy_topological_order(graph: "TaskGraph", policy: "str | SchedulePolicy | None",
+                             *, nb: int = 0,
+                             platform: "Platform | None" = None) -> list[int]:
+    """A policy-guided topological order of the whole graph.
+
+    Kahn's algorithm with the frontier heap keyed ``(*policy.key, tid)``
+    at ready time 0: the result is a valid execution order that agrees
+    with the policy's preferences, *globally consistent* across ranks —
+    which is what the distributed executor needs for its
+    deadlock-freedom induction (every blocking wait is for a task
+    strictly earlier in this shared order).
+    """
+    import heapq
+
+    pol = resolve_policy(policy)
+    pol.prepare(graph, platform, nb)
+    n = len(graph)
+    in_count = [len(graph.predecessors(t)) for t in range(n)]
+    heap = [
+        (*pol.key(graph.tasks[tid], 0.0), tid) for tid in range(n) if in_count[tid] == 0
+    ]
+    heapq.heapify(heap)
+    order: list[int] = []
+    while heap:
+        tid = heapq.heappop(heap)[-1]
+        order.append(tid)
+        for succ in graph.successors(tid):
+            in_count[succ] -= 1
+            if in_count[succ] == 0:
+                heapq.heappush(heap, (*pol.key(graph.tasks[succ], 0.0), succ))
+    if len(order) != n:
+        raise RuntimeError(f"cycle: ordered {len(order)}/{n} tasks")
+    return order
+
+
+# re-exported convenience: the cost model a graph-level lower bound uses
+def graph_cost_lower_bound(graph: "TaskGraph", platform: "Platform", nb: int) -> float:
+    """Critical-path lower bound on any schedule's makespan.
+
+    The longest dependency chain under kernel-only perfmodel costs —
+    conversions and transfers only add time, so every simulated makespan
+    is ≥ this bound regardless of policy (property-tested).
+    """
+    gpu = platform.gpu
+    return graph.critical_path_length(
+        duration=lambda t: kernel_time(gpu, t.kind, nb, t.precision)
+    )

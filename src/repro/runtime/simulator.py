@@ -24,10 +24,18 @@ the sender's compute stream for STC payloads, and on every consuming
 task's compute stream when the payload encoding differs from the kernel's
 input encoding (the TTC overhead the paper highlights in Section VI).
 
-Scheduling is list scheduling in ready-time order with the classic
-Cholesky priority (panel tasks of earlier iterations first), which is a
-faithful stand-in for PaRSEC's asynchronous, priority-driven scheduler at
-the fidelity level of this model.
+Scheduling is policy-driven list scheduling: a pluggable
+:class:`~repro.runtime.policies.SchedulePolicy` owns the ready heap's
+comparator (explicit key ``(*policy.key(task, ready), tid)``).  The
+default ``panel-first`` policy keeps the historical
+``(ready, priority, tid)`` order — the classic Cholesky priority (panel
+tasks of earlier iterations first), a faithful stand-in for PaRSEC's
+asynchronous, priority-driven scheduler at the fidelity level of this
+model — and ``critical-path``, ``comm-aware-eft``, and ``fifo`` expose
+the scheduler sensitivity the paper's STC-vs-TTC results rest on (see
+``docs/SCHEDULING.md``).  Policies only affect timing: every task
+consumes exactly the payloads its inputs name, so numerics are
+policy-invariant by construction.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from ..perfmodel.kernels import conversion_time, kernel_time
 from ..perfmodel.transfers import h2d_time
 from ..precision.formats import Precision, bytes_per_element
 from .platform import Platform
+from .policies import SchedState, SchedulePolicy, resolve_policy
 from .task import Task, TaskGraph, TaskInput
 from .tracing import RunStats, Trace, TraceEvent
 from ..core.conversion import needs_conversion
@@ -59,6 +68,10 @@ class SimReport:
     stats: RunStats
     trace: Trace
     task_end: list[float] = field(default_factory=list)
+    #: when each task's compute interval began (conversions included)
+    task_start: list[float] = field(default_factory=list)
+    #: name of the scheduling policy that produced this schedule
+    policy: str = "panel-first"
 
     @property
     def gflops(self) -> float:
@@ -125,16 +138,25 @@ def simulate(
     *,
     enforce_memory: bool = True,
     record_events: bool = True,
+    policy: str | SchedulePolicy | None = None,
 ) -> SimReport:
     """Simulate ``graph`` on ``platform`` and return timing + counters.
 
     ``nb`` is the tile edge used to price kernels and conversions (ragged
     edge tiles are priced as full tiles — a ≤1/NT relative error).
 
+    ``policy`` picks the :class:`~repro.runtime.policies.SchedulePolicy`
+    that orders the ready heap (name or instance; default
+    ``panel-first``, bit-identical to the historical scheduler).
+    Policies reorder ready tasks only, so they change timing and data
+    motion but never which payloads a task consumes.
+
     Telemetry: runs inside a ``sim.run`` span; eviction/conversion
     counters tick live and per-engine busy time, byte totals, and the
     makespan land in the :mod:`repro.obs` registry at completion.
     """
+    sched = resolve_policy(policy)
+    sched.prepare(graph, platform, nb)
     registry = get_registry()
     evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
     conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
@@ -256,18 +278,32 @@ def simulate(
                 host_ready[node].setdefault(key, 0.0)
                 origin_rank.setdefault(key, task.rank)
 
-    # -- list scheduling in ready-time order ------------------------------
+    # -- policy-driven list scheduling ------------------------------------
+    # Heap comparator is the explicit triple (*policy.key, tid): the
+    # policy owns the first two fields (panel-first keeps the historical
+    # (ready, priority) pair bit-identically), task id pins the order of
+    # equal-key tasks so every policy is fully deterministic.  Only
+    # tasks whose predecessors are all scheduled enter the heap, so any
+    # pop order is a valid schedule; the recorded ready time still gates
+    # the task's start via its input arrival times.
+    sched_state = SchedState(
+        resident=lambda rank, key: key in caches[rank],
+        host_resident=lambda node, key: key in host_ready[node],
+    )
     n = len(graph)
     in_count = [len(graph.predecessors(t)) for t in range(n)]
     task_end = [0.0] * n
-    heap: list[tuple[float, int, int]] = []
+    task_start = [0.0] * n
+    task_ready = [0.0] * n
+    heap: list[tuple[float, float, int]] = []
     for tid in range(n):
         if in_count[tid] == 0:
-            heapq.heappush(heap, (0.0, graph.tasks[tid].priority, tid))
+            heapq.heappush(heap, (*sched.key(graph.tasks[tid], 0.0, sched_state), tid))
 
     done = 0
     while heap:
-        ready_t, _prio, tid = heapq.heappop(heap)
+        tid = heapq.heappop(heap)[-1]
+        ready_t = task_ready[tid]
         task = graph.tasks[tid]
         rank = task.rank
         protect: set[_Key] = {
@@ -299,6 +335,7 @@ def simulate(
         exec_t = kernel_time(gpu, task.kind, nb, task.precision)
         end = start + exec_t + conv_seconds
         compute_free[rank] = end
+        task_start[tid] = start
         task_end[tid] = end
 
         conv_t = start
@@ -359,7 +396,11 @@ def simulate(
                 succ_ready = max(
                     (task_end[p] for p in graph.predecessors(succ)), default=0.0
                 )
-                heapq.heappush(heap, (succ_ready, graph.tasks[succ].priority, succ))
+                task_ready[succ] = succ_ready
+                heapq.heappush(
+                    heap,
+                    (*sched.key(graph.tasks[succ], succ_ready, sched_state), succ),
+                )
         done += 1
 
     if done != n:
@@ -392,6 +433,14 @@ def simulate(
             "nic_bytes": stats.nic_bytes,
             "n_conversions": stats.n_conversions,
             "n_evictions": stats.n_evictions,
+            "policy": sched.name,
         },
     )
-    return SimReport(makespan=makespan, stats=stats, trace=trace, task_end=task_end)
+    return SimReport(
+        makespan=makespan,
+        stats=stats,
+        trace=trace,
+        task_end=task_end,
+        task_start=task_start,
+        policy=sched.name,
+    )

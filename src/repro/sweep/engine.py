@@ -48,7 +48,7 @@ __all__ = ["SweepRun", "SweepResult", "run_sweep", "execute_spec"]
 
 #: columns of the aggregated results table (and the BENCH run metrics)
 TABLE_COLUMNS = (
-    "config", "strategy", "n", "nb", "platform",
+    "config", "strategy", "policy", "n", "nb", "platform",
     "makespan_s", "tflops", "h2d_gb", "nic_gb", "n_conversions", "cached", "failed",
 )
 
@@ -103,12 +103,14 @@ def execute_spec(spec_dict: dict) -> dict:
         strategy=strategy,
         enforce_memory=spec.enforce_memory,
         record_events=False,
+        policy=spec.policy,
     )
     sim_seconds = time.perf_counter() - t1
 
     result = report.stats.to_dict()
     result.update(
         nt=spec.nt,
+        policy=report.policy,
         stc_fraction=cmap.stc_fraction(),
         tile_fractions={p.name: f for p, f in sorted(kmap.tile_fractions().items(), reverse=True)},
         plan_seconds=plan_seconds,
@@ -177,7 +179,7 @@ class SweepRun:
         """One row of the aggregated results table."""
         plat = f"{self.spec.n_nodes}x{self.spec.gpus_per_node}x{self.spec.gpu}"
         cfg = self.spec.config if self.spec.config != "adaptive" else f"adaptive({self.spec.app})"
-        head = (cfg, self.spec.strategy, self.spec.n, self.spec.nb, plat)
+        head = (cfg, self.spec.strategy, self.spec.policy, self.spec.n, self.spec.nb, plat)
         if self.failed:
             return head + ("-", "-", "-", "-", "-", "miss", "yes")
         return head + (

@@ -27,8 +27,9 @@ __all__ = ["RunSpec", "SweepGrid", "KERNEL_CONFIGS"]
 
 #: schema version folded into every cache key — bump when the result
 #: JSON layout or the simulation semantics change incompatibly
-#: (3: per-precision d2h/nic byte splits + conversion-site attribution)
-CACHE_SCHEMA = 3
+#: (3: per-precision d2h/nic byte splits + conversion-site attribution;
+#:  4: scheduling policy becomes a spec field and sweep axis)
+CACHE_SCHEMA = 4
 
 #: supported kernel-precision configurations; "adaptive" builds the map
 #: from sampled tile norms of the named application at ``accuracy``
@@ -56,9 +57,12 @@ class RunSpec:
     app: str = "2d-matern"
     accuracy: float | None = None
     seed: int = 0
+    policy: str = "panel-first"
     enforce_memory: bool = True
 
     def __post_init__(self) -> None:
+        from ..runtime.policies import POLICY_NAMES
+
         if self.n <= 0 or self.nb <= 0:
             raise ValueError(f"n and nb must be positive, got n={self.n}, nb={self.nb}")
         if self.config not in KERNEL_CONFIGS:
@@ -67,6 +71,8 @@ class RunSpec:
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.gpus_per_node < 1 or self.n_nodes < 1:
             raise ValueError("gpus_per_node and n_nodes must be positive")
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {self.policy!r}; expected one of {POLICY_NAMES}")
 
     @property
     def nt(self) -> int:
@@ -76,7 +82,10 @@ class RunSpec:
     def label(self) -> str:
         plat = f"{self.n_nodes}x{self.gpus_per_node}x{self.gpu}"
         cfg = self.config if self.config != "adaptive" else f"adaptive({self.app})"
-        return f"{cfg}/{self.strategy} n={self.n} nb={self.nb} {plat}"
+        base = f"{cfg}/{self.strategy} n={self.n} nb={self.nb} {plat}"
+        if self.policy != "panel-first":
+            base += f" [{self.policy}]"
+        return base
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -103,8 +112,8 @@ class SweepGrid:
 
     Axes with a single value may be given as scalars; expansion order is
     the documented field order (n, nb, config, strategy, gpu,
-    gpus_per_node, n_nodes, app, accuracy, seed), which keeps run
-    numbering deterministic.
+    gpus_per_node, n_nodes, app, accuracy, seed, policy), which keeps
+    run numbering deterministic.
     """
 
     n: tuple[int, ...] = (4096,)
@@ -117,6 +126,7 @@ class SweepGrid:
     app: tuple[str, ...] = ("2d-matern",)
     accuracy: tuple[float | None, ...] = (None,)
     seed: tuple[int, ...] = (0,)
+    policy: tuple[str, ...] = ("panel-first",)
     enforce_memory: bool = True
     name: str = "sweep"
     extra: Mapping[str, object] = field(default_factory=dict)
@@ -147,6 +157,7 @@ class SweepGrid:
             "app": list(self.app),
             "accuracy": list(self.accuracy),
             "seed": list(self.seed),
+            "policy": list(self.policy),
             "enforce_memory": self.enforce_memory,
         }
 
@@ -154,7 +165,7 @@ class SweepGrid:
         size = 1
         for axis in (self.n, self.nb, self.config, self.strategy, self.gpu,
                      self.gpus_per_node, self.n_nodes, self.app, self.accuracy,
-                     self.seed):
+                     self.seed, self.policy):
             size *= len(axis)
         return size
 
@@ -162,12 +173,11 @@ class SweepGrid:
         return list(iter(self))
 
     def __iter__(self) -> Iterator[RunSpec]:
-        for (n, nb, config, strategy, gpu, gpn, nodes, app, accuracy, seed) in (
-            itertools.product(
+        for (n, nb, config, strategy, gpu, gpn, nodes, app, accuracy, seed,
+             policy) in itertools.product(
                 self.n, self.nb, self.config, self.strategy, self.gpu,
                 self.gpus_per_node, self.n_nodes, self.app, self.accuracy,
-                self.seed,
-            )
+                self.seed, self.policy,
         ):
             yield RunSpec(
                 n=n,
@@ -180,5 +190,6 @@ class SweepGrid:
                 app=app,
                 accuracy=accuracy,
                 seed=seed,
+                policy=policy,
                 enforce_memory=self.enforce_memory,
             )

@@ -1,14 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also registers the hypothesis example-count profiles: tests that omit
+``max_examples`` (the scheduler property battery) scale with
+``REPRO_HYPOTHESIS_PROFILE`` — ``quick`` for PR CI, ``full`` for main,
+``default`` (hypothesis' 100) otherwise.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.geostats.covariance import Matern
 from repro.geostats.generator import SyntheticField, build_tiled_covariance
 from repro.geostats.locations import generate_locations
 from repro.tiles.tilematrix import TiledSymmetricMatrix
+
+settings.register_profile("quick", max_examples=15, deadline=None)
+settings.register_profile("default", deadline=None)
+settings.register_profile("full", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

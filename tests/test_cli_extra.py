@@ -57,3 +57,51 @@ class TestSimulateConfigs:
         assert main(["simulate", "--n", "8192", "--nb", "1024",
                      "--gpus", "2", "--nodes", "2"]) == 0
         assert "2x2x" in capsys.readouterr().out
+
+
+class TestScheduleCompare:
+    def test_table_and_verdicts(self, capsys):
+        assert main(["schedule-compare", "--n", "2048", "--nb", "128"]) == 0
+        out = capsys.readouterr().out
+        for name in ("panel-first", "fifo", "critical-path", "comm-aware-eft"):
+            assert name in out
+        assert "energy_j" in out and "makespan_s" in out
+        assert "policy:panel-first" in out  # regression-sentinel diff headers
+
+    def test_report_out_and_policy_subset(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "verdict.json"
+        assert main(["schedule-compare", "--n", "1024", "--nb", "256",
+                     "--policy", "fifo", "--policy", "critical-path",
+                     "--report-out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.obs.regress/1+multi"
+        assert doc["baseline_policy"] == "panel-first"
+        assert set(doc["metrics"]) == {"panel-first", "fifo", "critical-path"}
+        assert all("energy_joules" in m for m in doc["metrics"].values())
+        assert [r["schema"] for r in doc["reports"]] == ["repro.obs.regress/1"] * 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule-compare", "--policy", "yolo"])
+
+    def test_simulate_policy_flag_and_trace_metadata(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["simulate", "--n", "2048", "--nb", "256",
+                     "--policy", "critical-path",
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "policy critical-path" in out
+        doc = json.loads(trace.read_text())
+        assert doc["metadata"] == {"policy": "critical-path"}
+
+    def test_sweep_policy_axis(self, tmp_path, capsys):
+        assert main(["sweep", "--n", "1024", "--nb", "256",
+                     "--policy", "panel-first", "--policy", "fifo",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--name", "pol-axis"]) == 0
+        out = capsys.readouterr().out
+        assert "panel-first" in out and "fifo" in out

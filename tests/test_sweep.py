@@ -49,6 +49,7 @@ class TestRunSpec:
             RunSpec(**TINY, app="3d-exponential"),
             RunSpec(**TINY, accuracy=1e-4),
             RunSpec(**TINY, seed=7),
+            RunSpec(**TINY, policy="critical-path"),
             RunSpec(**TINY, enforce_memory=False),
         ]
         keys = {base.cache_key()} | {v.cache_key() for v in variants}
@@ -179,3 +180,36 @@ class TestSweepCli:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "cache: 2/2 hits (100.0%)" in out
+
+
+class TestPolicyAxis:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy|unknown policy"):
+            RunSpec(**TINY, policy="random")
+
+    def test_policy_in_label_when_non_default(self):
+        assert "[critical-path]" in RunSpec(**TINY, policy="critical-path").label
+        assert "[" not in RunSpec(**TINY).label
+
+    def test_policy_axis_expands(self):
+        grid = SweepGrid.from_axes(**TINY, policy=["panel-first", "fifo"])
+        specs = grid.expand()
+        assert len(specs) == 2
+        assert [s.policy for s in specs] == ["panel-first", "fifo"]
+        assert grid.axes_dict()["policy"] == ["panel-first", "fifo"]
+
+    def test_execute_spec_honours_policy(self):
+        base = execute_spec(RunSpec(n=2048, nb=128, config="FP64/FP16_32").to_dict())
+        cp = execute_spec(
+            RunSpec(n=2048, nb=128, config="FP64/FP16_32", policy="critical-path").to_dict()
+        )
+        assert base["policy"] == "panel-first" and cp["policy"] == "critical-path"
+        assert cp["makespan_seconds"] != base["makespan_seconds"]
+
+    def test_policy_column_in_table(self, tmp_path):
+        result = run_sweep(
+            SweepGrid.from_axes(**TINY, policy=["panel-first", "critical-path"]),
+            cache_dir=tmp_path,
+        )
+        table = result.table()
+        assert "policy" in table and "critical-path" in table
