@@ -12,11 +12,23 @@ Commands
 ``analyze``   explain a captured run: data-motion ledger, conversion-site
               attribution, critical path, utilization (trace or run dir)
 ``compare``   regression sentinel: diff BENCH/run-summary documents with
-              per-metric thresholds; ``--fail-on-regress`` gates CI
+              per-metric thresholds; ``--fail-on-regress`` gates CI;
+              ``--against-history DB --window N`` runs the windowed
+              trend sentinel over warehouse history instead
 ``schedule-compare``
               price one configuration under several scheduling policies
               (see ``docs/SCHEDULING.md``) and diff each against a
               baseline policy via the regression-sentinel report format
+``history``   the cross-run telemetry warehouse: ingest run summaries /
+              BENCH / profile documents into a SQLite store and list
+              the accumulated history (``docs/OBSERVABILITY.md``)
+``profile``   run a symbolic simulate under the sampling wall-clock
+              profiler and print the hottest frames + instrumented
+              hot regions with the measured overhead
+``merge-shards``
+              merge the per-rank ``events-rank<k>.jsonl`` shards of a
+              distributed run into one clock-aligned trace + summary
+              that ``repro analyze`` accepts
 
 Telemetry flags (see ``docs/OBSERVABILITY.md``): ``simulate`` takes
 ``--trace-out`` (Perfetto JSON with counter tracks), ``--metrics-out``
@@ -91,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a structured JSONL event log")
     p.add_argument("--csv-out", default=None, metavar="PATH",
                    help="write the raw event trace as CSV")
+    p.add_argument("--profile-out", default=None, metavar="PATH",
+                   help="run under the sampling profiler and write the "
+                        "repro.obs.profile/1 document (see docs/OBSERVABILITY.md)")
     p.add_argument("--run-id", default=None, help="run identifier for logs/manifest")
 
     p = sub.add_parser("sweep", help="run a campaign over a grid of configurations")
@@ -140,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write sweep.run/sweep.complete events to a JSONL log")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write metrics + campaign manifest as JSON")
+    p.add_argument("--profile-out", default=None, metavar="PATH",
+                   help="run the sweep under the sampling profiler and write "
+                        "the repro.obs.profile/1 document")
 
     p = sub.add_parser("report", help="summarise a captured run")
     p.add_argument("--metrics", default=None, metavar="PATH",
@@ -148,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL event log written by --events-out")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="Perfetto trace JSON written by --trace-out")
+    p.add_argument("--format", default="text", choices=["text", "prom"],
+                   help="output format: human text (default) or Prometheus "
+                        "text exposition of the captured metrics (needs "
+                        "--metrics)")
 
     p = sub.add_parser(
         "analyze",
@@ -165,13 +187,30 @@ def build_parser() -> argparse.ArgumentParser:
         "compare",
         help="regression sentinel: diff BENCH/run-summary documents",
     )
-    p.add_argument("baseline", help="baseline BENCH_*.json or run-summary JSON")
-    p.add_argument("candidates", nargs="+",
+    p.add_argument("baseline",
+                   help="baseline BENCH_*.json or run-summary JSON (the "
+                        "candidate itself when --against-history is given)")
+    p.add_argument("candidates", nargs="*",
                    help="candidate document(s) compared against the baseline")
     p.add_argument("--threshold", action="append", default=None,
                    metavar="METRIC=REL[:DIRECTION]",
                    help="override a relative threshold, e.g. tflops=0.10 or "
                         "my_metric=0.05:higher; repeatable")
+    p.add_argument("--against-history", default=None, metavar="DB",
+                   help="windowed trend sentinel: compare the (single) "
+                        "document against the last --window runs in a "
+                        "warehouse DB (see repro history)")
+    p.add_argument("--window", type=int, default=5, metavar="N",
+                   help="history window for --against-history (default: 5)")
+    p.add_argument("--policy", default=None,
+                   help="restrict the --against-history window to runs with "
+                        "this scheduling policy")
+    p.add_argument("--nt", type=int, default=None,
+                   help="restrict the --against-history window to runs with "
+                        "this tile count")
+    p.add_argument("--config", default=None,
+                   help="restrict the --against-history window to runs with "
+                        "this precision configuration")
     p.add_argument("--fail-on-regress", action="store_true",
                    help="exit non-zero when any metric regresses beyond threshold")
     p.add_argument("--all-metrics", action="store_true",
@@ -201,6 +240,64 @@ def build_parser() -> argparse.ArgumentParser:
                         "against the baseline")
     p.add_argument("--report-out", default=None, metavar="PATH",
                    help="write the per-policy regression verdicts as JSON")
+
+    p = sub.add_parser(
+        "history",
+        help="cross-run telemetry warehouse: ingest and list run history",
+    )
+    p.add_argument("db", metavar="DB",
+                   help="SQLite warehouse path (created on first use)")
+    p.add_argument("--ingest", action="append", default=None, metavar="PATH",
+                   help="ingest a run-summary / BENCH / profile JSON document "
+                        "before listing; repeatable")
+    p.add_argument("--policy", default=None,
+                   help="only list runs with this scheduling policy")
+    p.add_argument("--nt", type=int, default=None,
+                   help="only list runs with this tile count")
+    p.add_argument("--config", default=None,
+                   help="only list runs with this precision configuration "
+                        "(e.g. FP64/FP16)")
+    p.add_argument("--kind", default=None,
+                   choices=["run_summary", "bench", "profile", "stats"],
+                   help="only list runs of this document kind")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="show only the newest N matching runs")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the machine-readable history document")
+
+    p = sub.add_parser(
+        "profile",
+        help="sampling wall-clock profile of a symbolic simulate",
+    )
+    p.add_argument("--gpu", default="V100", choices=["V100", "A100", "H100"])
+    p.add_argument("--gpus", type=int, default=1, help="GPUs per node")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--n", type=int, default=None,
+                   help="matrix size (default: nt*nb)")
+    p.add_argument("--nb", type=int, default=512)
+    p.add_argument("--nt", type=int, default=32,
+                   help="tile count when --n is not given (default: 32)")
+    p.add_argument("--config", default="FP64/FP16",
+                   choices=["FP64", "FP32", "FP64/FP16_32", "FP64/FP16"])
+    p.add_argument("--strategy", default="auto", choices=["auto", "stc", "ttc"])
+    p.add_argument("--policy", default="panel-first", choices=list(POLICY_NAMES))
+    p.add_argument("--interval", type=float, default=0.005, metavar="SECONDS",
+                   help="sampling interval (default: 5 ms)")
+    p.add_argument("--top", type=int, default=10,
+                   help="frames to show (default: 10)")
+    p.add_argument("--profile-out", default=None, metavar="PATH",
+                   help="write the repro.obs.profile/1 document")
+
+    p = sub.add_parser(
+        "merge-shards",
+        help="merge distributed per-rank trace shards into one trace",
+    )
+    p.add_argument("shard_dir", metavar="SHARD-DIR",
+                   help="directory holding events-rank<k>.jsonl + "
+                        "shard-manifest.json")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write trace.json + summary.json under DIR "
+                        "(default: SHARD-DIR/merged)")
 
     p = sub.add_parser("bench", help="run one experiment driver")
     p.add_argument("target", choices=[
@@ -305,9 +402,14 @@ def _cmd_simulate(args) -> int:
     }[args.strategy]
     # events are needed whenever a trace/CSV export was requested
     record_events = bool(args.trace_out or args.csv_out)
+    profiler = None
     with contextlib.ExitStack() as stack:
         if args.events_out:
             stack.enter_context(obs.event_log(args.events_out, run_id=args.run_id))
+        if args.profile_out:
+            from .obs.profile import SamplingProfiler
+
+            profiler = stack.enter_context(SamplingProfiler())
         rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
                                 record_events=record_events, policy=args.policy)
 
@@ -333,6 +435,22 @@ def _cmd_simulate(args) -> int:
     if args.csv_out:
         obs.write_trace_csv(rep.trace.events, args.csv_out)
         print(f"  csv     → {args.csv_out}")
+    if profiler is not None:
+        from .obs.profile import write_profile
+
+        rate = (rep.stats.n_tasks / profiler.wall_seconds
+                if profiler.wall_seconds > 0.0 else 0.0)
+        doc = profiler.report(extra={
+            "tasks_per_second": rate,
+            "manifest": obs.build_manifest(
+                run_id=args.run_id, command="simulate", config=vars(args),
+                policy=args.policy,
+            ),
+        })
+        write_profile(args.profile_out, doc)
+        print(f"  profile → {args.profile_out} "
+              f"({doc['n_samples']} samples, {rate:,.0f} tasks/s, "
+              f"overhead {doc['overhead_fraction'] * 100.0:.2f}%)")
     if args.metrics_out:
         manifest = obs.build_manifest(
             run_id=args.run_id, command="simulate", config=vars(args)
@@ -372,9 +490,14 @@ def _cmd_sweep(args) -> int:
         policy=args.policy or ["panel-first"],
         name=args.name,
     )
+    profiler = None
     with contextlib.ExitStack() as stack:
         if args.events_out:
             stack.enter_context(obs.event_log(args.events_out))
+        if args.profile_out:
+            from .obs.profile import SamplingProfiler
+
+            profiler = stack.enter_context(SamplingProfiler())
         result = run_sweep(
             grid, workers=args.workers, cache_dir=args.cache_dir, force=args.force,
             retry_policy=retry_policy, fault_plan=fault_plan,
@@ -387,6 +510,20 @@ def _cmd_sweep(args) -> int:
     if args.bench_out:
         path = result.write_bench_json(args.bench_out)
         print(f"  bench   → {path}")
+    if profiler is not None:
+        from .obs.profile import write_profile
+
+        n_tasks = getattr(result.summary_stats(), "n_tasks", 0)
+        rate = (n_tasks / profiler.wall_seconds
+                if profiler.wall_seconds > 0.0 else 0.0)
+        doc = profiler.report(extra={
+            "tasks_per_second": rate,
+            "manifest": obs.build_manifest(command="sweep", config=vars(args)),
+        })
+        write_profile(args.profile_out, doc)
+        print(f"  profile → {args.profile_out} "
+              f"({doc['n_samples']} samples, {rate:,.0f} tasks/s, "
+              f"overhead {doc['overhead_fraction'] * 100.0:.2f}%)")
     if args.metrics_out:
         manifest = obs.build_manifest(command="sweep", config=vars(args))
         obs.write_run_summary(args.metrics_out, stats=result.summary_stats(),
@@ -424,6 +561,17 @@ def _cmd_report(args) -> int:
         if path and not Path(path).exists():
             print(f"report: no such file: {path}", file=sys.stderr)
             return 2
+
+    if args.format == "prom":
+        from .obs.exporters import to_prometheus_text
+
+        if not args.metrics:
+            print("report: --format prom needs --metrics", file=sys.stderr)
+            return 2
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        print(to_prometheus_text(doc.get("metrics") or {}), end="")
+        return 0
 
     if args.metrics:
         with open(args.metrics, "r", encoding="utf-8") as fh:
@@ -521,6 +669,13 @@ def _cmd_compare(args) -> int:
         print(f"compare: {exc}", file=sys.stderr)
         return 2
 
+    if args.against_history:
+        return _compare_against_history(args, thresholds)
+    if not args.candidates:
+        print("compare: need at least one candidate document "
+              "(or --against-history DB)", file=sys.stderr)
+        return 2
+
     reports = []
     for candidate in args.candidates:
         try:
@@ -547,6 +702,51 @@ def _cmd_compare(args) -> int:
     n_regressions = sum(r.n_regressions for r in reports)
     if args.fail_on_regress and n_regressions:
         print(f"compare: {n_regressions} regression(s) beyond threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _compare_against_history(args, thresholds) -> int:
+    """``repro compare --against-history DB --window N CANDIDATE``."""
+    import json
+
+    from .obs.regress import compare_against_window
+    from .obs.warehouse import Warehouse
+
+    if args.candidates:
+        print("compare: --against-history takes exactly one document "
+              "(the candidate)", file=sys.stderr)
+        return 2
+    if not Path(args.against_history).exists():
+        print(f"compare: no such warehouse: {args.against_history}",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        candidate = json.load(fh)
+    filters = {k: getattr(args, k) for k in ("policy", "nt", "config")
+               if getattr(args, k) is not None}
+    try:
+        with Warehouse(args.against_history) as wh:
+            history = wh.window_scopes(args.window, **filters)
+            report = compare_against_window(
+                history, candidate, thresholds=thresholds, window=args.window,
+                history_name=f"{args.against_history} (last {args.window})",
+                candidate_name=args.baseline,
+            )
+    except ValueError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    print(report.table(all_metrics=args.all_metrics))
+    if args.report_out:
+        out = Path(args.report_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"  verdict → {args.report_out}")
+    if args.fail_on_regress and report.verdict == "regressed":
+        print(f"compare: {len(report.regressions)} regression(s), "
+              f"{len(report.drifts)} drifting trend(s) beyond threshold",
               file=sys.stderr)
         return 1
     return 0
@@ -645,6 +845,108 @@ def _cmd_schedule_compare(args) -> int:
     return 0
 
 
+def _cmd_history(args) -> int:
+    import json
+
+    from .obs.warehouse import Warehouse
+
+    try:
+        with Warehouse(args.db) as wh:
+            for path in args.ingest or []:
+                if not Path(path).exists():
+                    print(f"history: no such file: {path}", file=sys.stderr)
+                    return 2
+                result = wh.ingest_file(path)
+                print(f"  ingested {path} → seq {result.seq} "
+                      f"({result.kind}, key {result.run_key}, "
+                      f"{result.n_metrics} metrics, {result.n_points} points)")
+            filters = {k: getattr(args, k) for k in ("policy", "nt", "config", "kind")
+                       if getattr(args, k) is not None}
+            rows = wh.runs(limit=args.limit, **filters)
+            print(wh.history_table(rows))
+            if args.json_out:
+                out = Path(args.json_out)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(
+                    json.dumps(wh.history_json(rows), indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"  history → {args.json_out}")
+    except ValueError as exc:
+        print(f"history: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from . import obs
+    from .core import (
+        ConversionStrategy,
+        simulate_cholesky,
+        two_precision_map,
+        uniform_map,
+    )
+    from .obs.profile import SamplingProfiler, write_profile
+    from .perfmodel import GPU_BY_NAME, NodeSpec
+    from .precision import Precision
+    from .runtime import Platform
+
+    gpu = GPU_BY_NAME[args.gpu]
+    node = NodeSpec("cli", gpu, args.gpus, 256e9, 25e9, 1.5e-6)
+    platform = Platform(node=node, n_nodes=args.nodes)
+    n = args.n if args.n is not None else args.nt * args.nb
+    nt = -(-n // args.nb)
+    kmap = {
+        "FP64": uniform_map(nt, Precision.FP64),
+        "FP32": uniform_map(nt, Precision.FP32),
+        "FP64/FP16_32": two_precision_map(nt, Precision.FP16_32),
+        "FP64/FP16": two_precision_map(nt, Precision.FP16),
+    }[args.config]
+    strategy = ConversionStrategy(args.strategy)
+
+    with SamplingProfiler(args.interval) as profiler:
+        rep = simulate_cholesky(n, args.nb, kmap, platform, strategy=strategy,
+                                record_events=False, policy=args.policy)
+
+    rate = (rep.stats.n_tasks / profiler.wall_seconds
+            if profiler.wall_seconds > 0.0 else 0.0)
+    print(f"{args.config} on {args.nodes}x{args.gpus}x{args.gpu} "
+          f"(n={n}, nb={args.nb}, NT={nt}, policy {rep.policy}): "
+          f"{rep.stats.n_tasks} tasks in {profiler.wall_seconds:.3f} s wall "
+          f"→ {rate:,.0f} tasks/s")
+    print(profiler.render(top=args.top))
+    if args.profile_out:
+        doc = profiler.report(top=args.top, extra={
+            "tasks_per_second": rate,
+            "manifest": obs.build_manifest(
+                command="profile",
+                config={"n": n, "nb": args.nb, "config": args.config,
+                        "strategy": args.strategy, "gpu": args.gpu,
+                        "gpus": args.gpus, "nodes": args.nodes},
+                policy=args.policy,
+            ),
+        })
+        write_profile(args.profile_out, doc)
+        print(f"  profile → {args.profile_out}")
+    return 0
+
+
+def _cmd_merge_shards(args) -> int:
+    from .obs.merge import merge_shards, render_merge, write_merged
+
+    try:
+        merged = merge_shards(args.shard_dir)
+    except ValueError as exc:
+        print(f"merge-shards: {exc}", file=sys.stderr)
+        return 2
+    print(render_merge(merged))
+    out_dir = args.out or str(Path(args.shard_dir) / "merged")
+    paths = write_merged(merged, out_dir)
+    print(f"  trace   → {paths['trace']}")
+    print(f"  summary → {paths['summary']}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench import (
         fig1_performance_rows,
@@ -715,6 +1017,9 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "schedule-compare": _cmd_schedule_compare,
+        "history": _cmd_history,
+        "profile": _cmd_profile,
+        "merge-shards": _cmd_merge_shards,
     }[args.command]
     return handler(args)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.profile import hot_region
 from ..perfmodel.kernels import KernelKind, kernel_flops
 from ..precision.formats import Precision
 from ..runtime.dsl import TaskClassSpec, TaskInstance, unroll
@@ -259,7 +260,8 @@ def build_cholesky_dag(
         TaskClassSpec("SYRK", syrk_space, syrk_inst),
         TaskClassSpec("GEMM", gemm_space, gemm_inst),
     ]
-    graph = unroll(classes)
+    with hot_region("dag.build"):
+        graph = unroll(classes)
     return CholeskyDag(
         graph=graph,
         n=n,

@@ -22,14 +22,29 @@ reproduction measures itself.  Four pieces, shared by every layer:
   analyze``);
 * **regression sentinel** (:mod:`repro.obs.regress`) — thresholded
   BENCH/run-summary diffing with a machine-readable verdict (``repro
-  compare``), wired into CI as a perf-trajectory gate.
+  compare``), wired into CI as a perf-trajectory gate, plus the
+  N-run windowed trend sentinel (``repro compare --against-history``);
+* **warehouse** (:mod:`repro.obs.warehouse`) — the SQLite cross-run
+  store behind ``repro history`` and the windowed sentinel;
+* **shard merge** (:mod:`repro.obs.merge`) — clock-aligned aggregation
+  of distributed per-rank trace shards (``repro merge-shards``);
+* **profiler** (:mod:`repro.obs.profile`) — sampling wall-clock
+  profiler + named hot regions (``repro profile``, ``--profile-out``).
 
 See ``docs/OBSERVABILITY.md`` for the capture-analyze-compare workflow.
 """
 
-from . import analysis, regress
+from . import analysis, merge, profile, regress, warehouse
 from .analysis import analyze_path, analyze_trace, build_ledger, critical_path
-from .regress import compare_docs, compare_files
+from .merge import MergedTrace, merge_shards, write_merged
+from .profile import SamplingProfiler, active_profiler, hot_region, write_profile
+from .regress import (
+    WindowedReport,
+    compare_against_window,
+    compare_docs,
+    compare_files,
+)
+from .warehouse import Warehouse
 
 from ._runtime import (
     current_span_path,
@@ -43,6 +58,7 @@ from ._runtime import (
 from .events import EventLog, iter_events, read_events
 from .exporters import (
     run_summary,
+    to_prometheus_text,
     trace_to_csv,
     write_perfetto_trace,
     write_run_summary,
@@ -55,14 +71,27 @@ from .spans import Span, span, traced
 __all__ = [
     "Counter",
     "EventLog",
+    "MergedTrace",
+    "SamplingProfiler",
+    "Warehouse",
+    "WindowedReport",
+    "active_profiler",
     "analysis",
     "analyze_path",
     "analyze_trace",
     "build_ledger",
+    "compare_against_window",
     "compare_docs",
     "compare_files",
     "critical_path",
+    "hot_region",
+    "merge",
+    "merge_shards",
+    "profile",
     "regress",
+    "warehouse",
+    "write_merged",
+    "write_profile",
     "Gauge",
     "Histogram",
     "Metric",
@@ -82,6 +111,7 @@ __all__ = [
     "run_summary",
     "set_event_log",
     "span",
+    "to_prometheus_text",
     "trace_to_csv",
     "traced",
     "write_manifest",

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 __all__ = [
+    "to_prometheus_text",
     "trace_to_csv",
     "run_summary",
     "write_perfetto_trace",
@@ -138,3 +139,87 @@ def write_run_summary(path: str | Path, **kwargs) -> Path:
         encoding="utf-8",
     )
     return path
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """A metric name Prometheus accepts: [a-zA-Z_:][a-zA-Z0-9_:]*."""
+    out = "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+    if not out or not (out[0].isalpha() or out[0] in "_:"):
+        out = "_" + out
+    return out
+
+
+def _prom_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_prom_name(k)}="{_prom_label_value(str(v))}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _prom_number(value) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(registry=None) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Counters get the conventional ``_total`` suffix; histograms and
+    timers are exported as *summaries* (``{quantile="..."}`` series plus
+    ``_sum``/``_count``), matching what their bounded reservoir can
+    answer.  This is the payload the future serving layer's ``/metrics``
+    endpoint will scrape; until then ``repro report --format prom``
+    writes it to stdout or a file.
+    """
+    if registry is None:
+        from ._runtime import get_registry
+
+        registry = get_registry()
+    snapshot = registry.to_dict() if hasattr(registry, "to_dict") else dict(registry)
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        kind = metric.get("type", "gauge")
+        base = _prom_name(name)
+        if kind == "counter" and not base.endswith("_total"):
+            base += "_total"
+        prom_type = {
+            "counter": "counter",
+            "gauge": "gauge",
+            "histogram": "summary",
+            "timer": "summary",
+        }.get(kind, "untyped")
+        if metric.get("help"):
+            lines.append(f"# HELP {base} {metric['help']}")
+        lines.append(f"# TYPE {base} {prom_type}")
+        for series in metric.get("series", []):
+            labels = {str(k): str(v) for k, v in (series.get("labels") or {}).items()}
+            value = series.get("value")
+            if prom_type == "summary" and isinstance(value, Mapping):
+                for q_label, q_key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+                    q_value = value.get(q_key)
+                    if q_value is not None:
+                        lines.append(
+                            f"{base}{_prom_labels(labels, {'quantile': q_label})}"
+                            f" {_prom_number(q_value)}"
+                        )
+                lines.append(f"{base}_sum{_prom_labels(labels)} {_prom_number(value.get('sum', 0.0))}")
+                lines.append(f"{base}_count{_prom_labels(labels)} {_prom_number(value.get('count', 0))}")
+            else:
+                scalar = value if isinstance(value, (int, float)) else 0.0
+                lines.append(f"{base}{_prom_labels(labels)} {_prom_number(scalar)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -80,24 +80,49 @@ def _package_versions() -> dict[str, str | None]:
     return versions
 
 
+def _cache_schema() -> int | None:
+    # deferred: repro.sweep imports repro.obs at module level, so a
+    # top-level import here would be circular
+    try:
+        from ..sweep.grid import CACHE_SCHEMA
+    except ImportError:
+        return None
+    return CACHE_SCHEMA
+
+
 def build_manifest(
     *,
     run_id: str | None = None,
     command: str | None = None,
     config: object = None,
     seed: int | None = None,
+    policy: str | None = None,
     extra: Mapping[str, object] | None = None,
 ) -> dict:
     """Build the manifest dict for one run.
 
     Deterministic given its inputs and the working tree: no timestamps,
     no RNG — ``run_id`` must be supplied by the caller if one is wanted.
+    ``policy`` records the active :class:`SchedulePolicy` name; when not
+    given it is recovered from ``config`` if the config names one.  The
+    sweep ``CACHE_SCHEMA`` version always rides along so stored runs can
+    be partitioned by result-layout generation.
     """
+    if policy is None and isinstance(config, Mapping):
+        maybe = config.get("policy")
+        if isinstance(maybe, str):
+            policy = maybe
+    elif policy is None and hasattr(config, "policy"):
+        maybe = getattr(config, "policy")
+        if isinstance(maybe, str):
+            policy = maybe
     manifest: dict[str, object] = {
         "schema_version": _SCHEMA_VERSION,
         "run_id": run_id,
         "command": command,
         "seed": seed,
+        "policy": policy,
+        "cache_schema": _cache_schema(),
         "config": _jsonable_config(config),
         "versions": _package_versions(),
         "git_revision": git_revision(),

@@ -32,6 +32,9 @@ __all__ = [
     "MetricDelta",
     "RegressionReport",
     "Threshold",
+    "TrendDelta",
+    "WindowedReport",
+    "compare_against_window",
     "compare_docs",
     "compare_files",
     "load_metric_scopes",
@@ -330,6 +333,251 @@ def compare_files(
         baseline_name=str(baseline),
         candidate_name=str(candidate),
     )
+
+
+# -- windowed trend sentinel ------------------------------------------------
+#
+# Pairwise compare catches one bad PR; it cannot catch five PRs each
+# drifting a metric by 1.5% under a 2% gate.  The windowed sentinel
+# compares a candidate against an N-run rolling history (fed from the
+# warehouse, ``repro compare --against-history``) on two axes at once:
+#
+# * **level** — candidate vs the window *mean*, through the exact same
+#   `_compare_metric` the pairwise gate uses; and
+# * **trend** — the least-squares slope of the history-plus-candidate
+#   series, expressed as total relative drift across the window.  A
+#   drift beyond the metric's threshold in its bad direction flags even
+#   when the final level step is individually under tolerance.
+
+@dataclass(frozen=True)
+class TrendDelta:
+    """Least-squares drift of one metric across the window + candidate."""
+
+    scope: str
+    metric: str
+    values: tuple[float, ...]  # history values, oldest first, then candidate
+    slope: float  # fitted change per run
+    rel_drift: float  # fitted total change across the series / |fitted start|
+    rel_tol: float
+    direction: str
+    drifting: bool  # drift beyond tolerance in the bad direction
+
+    def to_dict(self) -> dict:
+        return {
+            "scope": self.scope,
+            "metric": self.metric,
+            "values": list(self.values),
+            "slope": self.slope,
+            "rel_drift": self.rel_drift if math.isfinite(self.rel_drift) else None,
+            "rel_tol": self.rel_tol,
+            "direction": self.direction,
+            "drifting": self.drifting,
+        }
+
+
+@dataclass
+class WindowedReport:
+    """Verdict of one candidate against an N-run rolling history."""
+
+    history_name: str
+    candidate: str
+    window: int  # runs of history actually used
+    deltas: list[MetricDelta] = field(default_factory=list)  # vs window mean
+    trends: list[TrendDelta] = field(default_factory=list)
+    missing_in_candidate: list[str] = field(default_factory=list)
+    added_in_candidate: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def drifts(self) -> list[TrendDelta]:
+        return [t for t in self.trends if t.drifting]
+
+    @property
+    def verdict(self) -> str:
+        return "regressed" if self.regressions or self.drifts else "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs.regress.window/1",
+            "history": self.history_name,
+            "candidate": self.candidate,
+            "window": self.window,
+            "verdict": self.verdict,
+            "n_compared": len(self.deltas),
+            "n_regressions": len(self.regressions),
+            "n_drifting": len(self.drifts),
+            "missing_in_candidate": list(self.missing_in_candidate),
+            "added_in_candidate": list(self.added_in_candidate),
+            "deltas": [d.to_dict() for d in self.deltas],
+            "trends": [t.to_dict() for t in self.trends],
+        }
+
+    def table(self, *, all_metrics: bool = False) -> str:
+        """Human view: level deltas vs window mean, then drifting trends."""
+        from ..bench.reporting import format_table
+
+        shown = (
+            self.deltas
+            if all_metrics
+            else [d for d in self.deltas if d.regressed or d.improved]
+        )
+        parts = []
+        title = (
+            f"compare {self.candidate} against {self.history_name} "
+            f"(window of {self.window}): {len(self.deltas)} metrics, "
+            f"{len(self.regressions)} level regression(s), "
+            f"{len(self.drifts)} drifting trend(s) — verdict {self.verdict.upper()}"
+        )
+        rows = [
+            (
+                d.scope,
+                d.metric,
+                d.baseline,
+                d.candidate,
+                f"{d.rel_delta * 100.0:+.2f}%",
+                f"±{d.rel_tol * 100.0:g}%",
+                "REGRESSED" if d.regressed else ("improved" if d.improved else "ok"),
+            )
+            for d in sorted(
+                shown, key=lambda d: (not d.regressed, not d.improved, d.scope, d.metric)
+            )
+        ]
+        if rows:
+            parts.append(format_table(
+                ["scope", "metric", "window mean", "candidate", "delta", "tol", "status"],
+                rows,
+                title=title,
+            ))
+        else:
+            parts.append(title + "\n(all level comparisons within thresholds)")
+        trend_rows = [
+            (
+                t.scope,
+                t.metric,
+                len(t.values),
+                f"{t.slope:+.4g}/run",
+                f"{t.rel_drift * 100.0:+.2f}%",
+                f"±{t.rel_tol * 100.0:g}%",
+                "DRIFTING" if t.drifting else "ok",
+            )
+            for t in sorted(
+                self.trends if all_metrics else self.drifts,
+                key=lambda t: (not t.drifting, t.scope, t.metric),
+            )
+        ]
+        if trend_rows:
+            parts.append(format_table(
+                ["scope", "metric", "points", "slope", "total drift", "tol", "status"],
+                trend_rows,
+                title="least-squares drift over the window",
+            ))
+        return "\n\n".join(parts)
+
+
+def _fit_line(values: Sequence[float]) -> tuple[float, float]:
+    """Least-squares ``(slope, intercept)`` of values over x = 0..n-1."""
+    n = len(values)
+    if n < 2:
+        return 0.0, (values[0] if values else 0.0)
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    sxx = sum((i - mean_x) ** 2 for i in range(n))
+    sxy = sum((i - mean_x) * (y - mean_y) for i, y in enumerate(values))
+    slope = sxy / sxx if sxx else 0.0
+    return slope, mean_y - slope * mean_x
+
+
+def _trend(
+    scope: str,
+    metric: str,
+    series: Sequence[float],
+    threshold: Threshold,
+) -> TrendDelta:
+    slope, intercept = _fit_line(series)
+    total = slope * (len(series) - 1)  # fitted change across the series
+    if total == 0.0:
+        rel = 0.0
+    elif intercept == 0.0:
+        rel = math.inf if total > 0.0 else -math.inf
+    else:
+        rel = total / abs(intercept)
+    if threshold.direction == "lower":
+        drifting = rel > threshold.rel_tol
+    else:
+        drifting = rel < -threshold.rel_tol
+    return TrendDelta(
+        scope=scope,
+        metric=metric,
+        values=tuple(series),
+        slope=slope,
+        rel_drift=rel,
+        rel_tol=threshold.rel_tol,
+        direction=threshold.direction,
+        drifting=drifting,
+    )
+
+
+def compare_against_window(
+    history: Sequence[Mapping[str, Mapping[str, float]]],
+    candidate: Mapping,
+    *,
+    thresholds: Mapping[str, Threshold] | None = None,
+    window: int = 5,
+    history_name: str = "history",
+    candidate_name: str = "candidate",
+) -> WindowedReport:
+    """Compare a candidate document against an N-run rolling history.
+
+    ``history`` is a sequence of ``{scope: {metric: value}}`` dicts,
+    oldest first — exactly what :meth:`Warehouse.window_scopes` returns;
+    the last ``window`` entries are used.  ``candidate`` is any document
+    :func:`load_metric_scopes` understands.  Each thresholded metric is
+    judged on level (vs the window mean) and on trend (least-squares
+    drift across history + candidate); either failing regresses.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    used = [dict(scopes) for scopes in history[-window:]]
+    if not used:
+        raise ValueError("history is empty: ingest runs before comparing against it")
+    thresholds = dict(DEFAULT_THRESHOLDS if thresholds is None else thresholds)
+    cand_scopes = load_metric_scopes(candidate)
+
+    hist_scopes = set()
+    for scopes in used:
+        hist_scopes.update(scopes)
+    report = WindowedReport(
+        history_name=history_name,
+        candidate=candidate_name,
+        window=len(used),
+        missing_in_candidate=sorted(hist_scopes - set(cand_scopes)),
+        added_in_candidate=sorted(set(cand_scopes) - hist_scopes),
+    )
+    for scope in sorted(hist_scopes & set(cand_scopes)):
+        cand_metrics = cand_scopes[scope]
+        for metric in sorted(cand_metrics):
+            threshold = thresholds.get(metric)
+            if threshold is None:
+                continue
+            series = [
+                float(scopes[scope][metric])
+                for scopes in used
+                if scope in scopes and metric in scopes[scope]
+            ]
+            if not series:
+                continue
+            mean = sum(series) / len(series)
+            report.deltas.append(
+                _compare_metric(scope, metric, mean, cand_metrics[metric], threshold)
+            )
+            if len(series) >= 2:
+                report.trends.append(
+                    _trend(scope, metric, [*series, cand_metrics[metric]], threshold)
+                )
+    return report
 
 
 def parse_threshold_args(args: Sequence[str] | None) -> dict[str, Threshold]:

@@ -45,6 +45,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..obs import emit_event, get_registry, traced
+from ..obs.profile import hot_region
 from ..perfmodel.kernels import conversion_time, kernel_time
 from ..perfmodel.transfers import h2d_time
 from ..precision.formats import Precision, bytes_per_element
@@ -301,107 +302,108 @@ def simulate(
             heapq.heappush(heap, (*sched.key(graph.tasks[tid], 0.0, sched_state), tid))
 
     done = 0
-    while heap:
-        tid = heapq.heappop(heap)[-1]
-        ready_t = task_ready[tid]
-        task = graph.tasks[tid]
-        rank = task.rank
-        protect: set[_Key] = {
-            (i.tile.i, i.tile.j, i.tile.version, i.payload_precision) for i in task.inputs
-        }
-        out_key: _Key = (task.output.i, task.output.j, task.output.version, task.output_precision)
-        protect.add(out_key)
+    with hot_region("sim.ready_heap_loop"):
+        while heap:
+            tid = heapq.heappop(heap)[-1]
+            ready_t = task_ready[tid]
+            task = graph.tasks[tid]
+            rank = task.rank
+            protect: set[_Key] = {
+                (i.tile.i, i.tile.j, i.tile.version, i.payload_precision) for i in task.inputs
+            }
+            out_key: _Key = (task.output.i, task.output.j, task.output.version, task.output_precision)
+            protect.add(out_key)
 
-        arrival = ready_t
-        # (site, src, dst, seconds) per conversion pass charged to this task
-        conversions: list[tuple[str, Precision, Precision, float]] = []
-        for inp in task.inputs:
-            arrival = max(arrival, _acquire(rank, inp, ready_t, protect))
-            # receiver-side conversion (TTC, or residual re-encode under STC)
-            if needs_conversion(inp.payload_precision, task.precision, inp.role):
-                conversions.append((
-                    "ttc",
-                    inp.payload_precision,
-                    task.precision,
-                    conversion_time(gpu, inp.elements, inp.payload_precision, task.precision),
-                ))
-        if task.sender_conversion is not None:
-            src, dst = task.sender_conversion
-            conversions.append(("stc", src, dst, conversion_time(gpu, nb * nb, src, dst)))
-        conv_seconds = sum(c[3] for c in conversions)
-        n_conv = len(conversions)
+            arrival = ready_t
+            # (site, src, dst, seconds) per conversion pass charged to this task
+            conversions: list[tuple[str, Precision, Precision, float]] = []
+            for inp in task.inputs:
+                arrival = max(arrival, _acquire(rank, inp, ready_t, protect))
+                # receiver-side conversion (TTC, or residual re-encode under STC)
+                if needs_conversion(inp.payload_precision, task.precision, inp.role):
+                    conversions.append((
+                        "ttc",
+                        inp.payload_precision,
+                        task.precision,
+                        conversion_time(gpu, inp.elements, inp.payload_precision, task.precision),
+                    ))
+            if task.sender_conversion is not None:
+                src, dst = task.sender_conversion
+                conversions.append(("stc", src, dst, conversion_time(gpu, nb * nb, src, dst)))
+            conv_seconds = sum(c[3] for c in conversions)
+            n_conv = len(conversions)
 
-        start = max(compute_free[rank], arrival)
-        exec_t = kernel_time(gpu, task.kind, nb, task.precision)
-        end = start + exec_t + conv_seconds
-        compute_free[rank] = end
-        task_start[tid] = start
-        task_end[tid] = end
+            start = max(compute_free[rank], arrival)
+            exec_t = kernel_time(gpu, task.kind, nb, task.precision)
+            end = start + exec_t + conv_seconds
+            compute_free[rank] = end
+            task_start[tid] = start
+            task_end[tid] = end
 
-        conv_t = start
-        for site, src, dst, seconds in conversions:
+            conv_t = start
+            for site, src, dst, seconds in conversions:
+                record(
+                    TraceEvent(
+                        rank,
+                        "compute",
+                        "CONVERT",
+                        conv_t,
+                        conv_t + seconds,
+                        task.precision,
+                        site=site,
+                        src_precision=src,
+                        dst_precision=dst,
+                    )
+                )
+                conv_t += seconds
+                stats.add_conversion(site, seconds)
             record(
                 TraceEvent(
                     rank,
                     "compute",
-                    "CONVERT",
-                    conv_t,
-                    conv_t + seconds,
+                    task.kind,
+                    start + conv_seconds,
+                    end,
                     task.precision,
-                    site=site,
-                    src_precision=src,
-                    dst_precision=dst,
+                    0,
+                    task.flops,
                 )
             )
-            conv_t += seconds
-            stats.add_conversion(site, seconds)
-        record(
-            TraceEvent(
-                rank,
-                "compute",
-                task.kind,
-                start + conv_seconds,
-                end,
-                task.precision,
-                0,
-                task.flops,
-            )
-        )
-        stats.add_flops(task.precision, task.flops)
-        stats.n_tasks += 1
-        busy["compute"] += end - start
-        if n_conv:
-            conversions_metric.inc(n_conv)
+            stats.add_flops(task.precision, task.flops)
+            stats.n_tasks += 1
+            busy["compute"] += end - start
+            if n_conv:
+                conversions_metric.inc(n_conv)
 
-        # output materialises on this GPU
-        out_bytes = nb * nb * bytes_per_element(task.output_precision)
-        gpu_ready[rank][out_key] = end
-        caches[rank].insert(out_key, out_bytes, dirty=True)
-        origin_rank[out_key] = rank
-        # STC payload copy (converted once here, broadcast in low precision)
-        if task.sender_conversion is not None:
-            _src, dst = task.sender_conversion
-            pay_key: _Key = (task.output.i, task.output.j, task.output.version, dst)
-            pay_bytes = nb * nb * bytes_per_element(dst)
-            gpu_ready[rank][pay_key] = end
-            caches[rank].insert(pay_key, pay_bytes, dirty=False)
-            origin_rank[pay_key] = rank
-        for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
-            _writeback(rank, ev_key, ev_bytes, ev_dirty, end)
-            gpu_ready[rank].pop(ev_key, None)
+            # output materialises on this GPU
+            out_bytes = nb * nb * bytes_per_element(task.output_precision)
+            gpu_ready[rank][out_key] = end
+            caches[rank].insert(out_key, out_bytes, dirty=True)
+            origin_rank[out_key] = rank
+            # STC payload copy (converted once here, broadcast in low precision)
+            if task.sender_conversion is not None:
+                _src, dst = task.sender_conversion
+                pay_key: _Key = (task.output.i, task.output.j, task.output.version, dst)
+                pay_bytes = nb * nb * bytes_per_element(dst)
+                gpu_ready[rank][pay_key] = end
+                caches[rank].insert(pay_key, pay_bytes, dirty=False)
+                origin_rank[pay_key] = rank
+            for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
+                _writeback(rank, ev_key, ev_bytes, ev_dirty, end)
+                gpu_ready[rank].pop(ev_key, None)
 
-        for succ in graph.successors(tid):
-            in_count[succ] -= 1
-            if in_count[succ] == 0:
-                succ_ready = max(
-                    (task_end[p] for p in graph.predecessors(succ)), default=0.0
-                )
-                task_ready[succ] = succ_ready
-                heapq.heappush(
-                    heap,
-                    (*sched.key(graph.tasks[succ], succ_ready, sched_state), succ),
-                )
-        done += 1
+            for succ in graph.successors(tid):
+                in_count[succ] -= 1
+                if in_count[succ] == 0:
+                    succ_ready = max(
+                        (task_end[p] for p in graph.predecessors(succ)), default=0.0
+                    )
+                    task_ready[succ] = succ_ready
+                    heapq.heappush(
+                        heap,
+                        (*sched.key(graph.tasks[succ], succ_ready, sched_state), succ),
+                    )
+            done += 1
 
     if done != n:
         raise RuntimeError(f"simulation deadlock: {done}/{n} tasks executed")

@@ -42,6 +42,7 @@ from typing import Iterable, Sequence
 
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..obs import build_manifest, emit_event, get_registry, span
+from ..obs.profile import hot_region
 from .grid import CACHE_SCHEMA, RunSpec, SweepGrid
 
 __all__ = ["SweepRun", "SweepResult", "run_sweep", "execute_spec"]
@@ -360,7 +361,8 @@ def _store_cached(cache_dir: Path, spec: RunSpec, key: str, result: dict) -> Non
         "spec": spec.to_dict(),
         "result": result,
         "manifest": build_manifest(
-            run_id=key, command="sweep.run", config=spec.to_dict(), seed=spec.seed
+            run_id=key, command="sweep.run", config=spec.to_dict(), seed=spec.seed,
+            policy=spec.policy,
         ),
     }
     path = _cache_path(cache_dir, key)
@@ -448,13 +450,14 @@ def run_sweep(
                 }
                 for i in unique
             ]
-            if workers > 1 and len(unique) > 1:
-                from .pool import make_pool
+            with hot_region("sweep.dispatch"):
+                if workers > 1 and len(unique) > 1:
+                    from .pool import make_pool
 
-                with make_pool(min(workers, len(unique))) as pool:
-                    outputs = list(pool.map(_run_point, payloads))
-            else:
-                outputs = [_run_point(p) for p in payloads]
+                    with make_pool(min(workers, len(unique))) as pool:
+                        outputs = list(pool.map(_run_point, payloads))
+                else:
+                    outputs = [_run_point(p) for p in payloads]
             for i, env in zip(unique, outputs):
                 attempts_spent[i] = env["attempts"]
                 retries_metric.inc(max(0, env["attempts"] - 1), op="sweep.point")

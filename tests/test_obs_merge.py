@@ -1,0 +1,198 @@
+"""Tests for distributed trace-shard merging and its exact reconciliation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.analysis import analyze_path, build_ledger
+from repro.obs.merge import SHARDS_SCHEMA, merge_shards, render_merge, write_merged
+from repro.precision import Precision
+from repro.runtime.tracing import RunStats
+
+
+def _write_jsonl(path, records):
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+
+
+def _shard_dir(tmp_path, *, parent_wall=100.0, offsets=(0.5, 1.0)):
+    """Two synthetic rank shards with known clock offsets."""
+    (tmp_path / "shard-manifest.json").write_text(json.dumps({
+        "schema": SHARDS_SCHEMA,
+        "wall_time": parent_wall,
+        "n_ranks": len(offsets),
+        "policy": "panel-first",
+        "run_id": "synthetic",
+    }), encoding="utf-8")
+    for rank, offset in enumerate(offsets):
+        stats = RunStats()
+        stats.add_flops(Precision.FP64, 1e9)
+        stats.n_tasks = 1
+        stats.add_conversion("stc", 0.002)
+        stats.add_nic(Precision.FP16, 4096)
+        stats.makespan = 0.5
+        records = [
+            {"run_id": "synthetic", "seq": 0, "ts": 0.0, "type": "shard.open",
+             "attrs": {"rank": rank, "wall_time": parent_wall + offset,
+                       "pid": 1000 + rank, "policy": "panel-first"}},
+            {"run_id": "synthetic", "seq": 1, "ts": 0.2, "type": "rank.task",
+             "attrs": {"tid": f"POTRF:{rank}", "kind": "POTRF",
+                       "precision": "FP64", "flops": 1e9,
+                       "t_start": 0.1, "t_end": 0.2}},
+            {"run_id": "synthetic", "seq": 2, "ts": 0.3, "type": "rank.convert",
+             "attrs": {"tid": f"POTRF:{rank}", "site": "stc", "src": "FP64",
+                       "dst": "FP16", "t_start": 0.2, "t_end": 0.25}},
+            {"run_id": "synthetic", "seq": 3, "ts": 0.4, "type": "rank.send",
+             "attrs": {"tid": f"POTRF:{rank}", "dest": 1 - rank, "bytes": 4096,
+                       "precision": "FP16", "t_start": 0.25, "t_end": 0.3}},
+            {"run_id": "synthetic", "seq": 4, "ts": 0.5, "type": "rank.stats",
+             "attrs": {"rank": rank, "stats": stats.to_dict()}},
+        ]
+        _write_jsonl(tmp_path / f"events-rank{rank}.jsonl", records)
+    return tmp_path
+
+
+class TestMergeSynthetic:
+    def test_clock_offsets(self, tmp_path):
+        merged = merge_shards(_shard_dir(tmp_path))
+        offsets = {s.rank: s.offset for s in merged.shards}
+        assert offsets[0] == pytest.approx(0.5)
+        assert offsets[1] == pytest.approx(1.0)
+        assert merged.n_ranks == 2
+        assert merged.policy == "panel-first"
+        assert merged.run_id == "synthetic"
+
+    def test_events_aligned_to_parent_axis(self, tmp_path):
+        merged = merge_shards(_shard_dir(tmp_path))
+        tasks = [e for e in merged.events if e.kind == "POTRF"]
+        by_rank = {e.rank: e for e in tasks}
+        # rank 0 opened 0.5 s after the parent's reference, task at +0.1
+        assert by_rank[0].t_start == pytest.approx(0.6)
+        assert by_rank[1].t_start == pytest.approx(1.1)
+        # sorted by aligned start time
+        starts = [e.t_start for e in merged.events]
+        assert starts == sorted(starts)
+
+    def test_stats_are_summed(self, tmp_path):
+        merged = merge_shards(_shard_dir(tmp_path))
+        d = merged.stats.to_dict()
+        assert d["n_tasks"] == 2
+        assert d["nic_bytes"] == 8192
+        assert d["n_conversions"] == 2
+        assert d["conversion_seconds"] == pytest.approx(0.004)
+        assert d["total_flops"] == pytest.approx(2e9)
+        # makespan spans the latest aligned event end
+        assert merged.stats.makespan == pytest.approx(1.3)
+
+    def test_ledger_reconciles_exactly(self, tmp_path):
+        merged = merge_shards(_shard_dir(tmp_path))
+        ledger = build_ledger(merged.events)
+        assert ledger.reconcile(merged.stats) == []
+
+    def test_write_merged_analyzable(self, tmp_path):
+        merged = merge_shards(_shard_dir(tmp_path))
+        out = tmp_path / "merged"
+        paths = write_merged(merged, out)
+        assert paths["trace"].is_file() and paths["summary"].is_file()
+        summary = json.loads(paths["summary"].read_text(encoding="utf-8"))
+        assert summary["merge"]["n_ranks"] == 2
+        assert set(summary["merge"]["per_rank_stats"]) == {"0", "1"}
+        doc = analyze_path(out)
+        assert doc["reconciliation"]["checked"]
+        assert doc["reconciliation"]["mismatches"] == []
+
+    def test_render(self, tmp_path):
+        merged = merge_shards(_shard_dir(tmp_path))
+        text = render_merge(merged)
+        assert "merged 2 shard(s)" in text
+        assert "events-rank0.jsonl" in text
+        assert "clock offset" in text
+
+
+class TestMergeErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ValueError, match="shard-manifest"):
+            merge_shards(tmp_path)
+
+    def test_wrong_manifest_schema(self, tmp_path):
+        (tmp_path / "shard-manifest.json").write_text(
+            json.dumps({"schema": "bogus/1", "wall_time": 0.0}), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            merge_shards(tmp_path)
+
+    def test_no_shards(self, tmp_path):
+        (tmp_path / "shard-manifest.json").write_text(
+            json.dumps({"schema": SHARDS_SCHEMA, "wall_time": 0.0}),
+            encoding="utf-8")
+        with pytest.raises(ValueError, match="no events-rank"):
+            merge_shards(tmp_path)
+
+    def test_shard_without_open_anchor(self, tmp_path):
+        (tmp_path / "shard-manifest.json").write_text(
+            json.dumps({"schema": SHARDS_SCHEMA, "wall_time": 0.0}),
+            encoding="utf-8")
+        _write_jsonl(tmp_path / "events-rank0.jsonl",
+                     [{"run_id": "x", "seq": 0, "ts": 0.1, "type": "rank.task",
+                       "attrs": {}}])
+        with pytest.raises(ValueError, match="shard.open"):
+            merge_shards(tmp_path)
+
+
+class TestDistributedShards:
+    """End-to-end: a real 2-rank run writes shards that merge + reconcile."""
+
+    def test_two_rank_run_merges_and_reconciles(self, rng, tmp_path):
+        from repro.core import build_cholesky_dag, two_precision_map
+        from repro.runtime import execute_numeric
+        from repro.runtime.distributed import execute_numeric_distributed
+        from repro.tiles import ProcessGrid
+        from repro.tiles.tilematrix import TiledSymmetricMatrix
+
+        n, nb = 96, 16
+        a = rng.standard_normal((n, n))
+        mat = TiledSymmetricMatrix.from_dense(a @ a.T + n * np.eye(n), nb)
+        g = ProcessGrid(1, 2)
+        dag = build_cholesky_dag(n, nb, two_precision_map(6, Precision.FP16),
+                                 grid=g)
+        shard_dir = tmp_path / "shards"
+        dist = execute_numeric_distributed(dag.graph, mat, g.size,
+                                           shard_dir=shard_dir,
+                                           run_id="dist-test")
+        # numerics unchanged by shard capture
+        seq = execute_numeric(dag.graph, mat)
+        assert np.array_equal(dist.lower_dense(), seq.lower_dense())
+
+        assert (shard_dir / "shard-manifest.json").is_file()
+        assert sorted(p.name for p in shard_dir.glob("events-rank*.jsonl")) == \
+            ["events-rank0.jsonl", "events-rank1.jsonl"]
+
+        merged = merge_shards(shard_dir)
+        assert merged.n_ranks == 2
+        assert merged.run_id == "dist-test"
+        assert merged.stats.n_tasks == sum(
+            s.get("n_tasks", 0) for s in merged.per_rank_stats.values())
+        # the merged ledger reconciles *exactly* against the summed stats
+        assert build_ledger(merged.events).reconcile(merged.stats) == []
+
+        out = tmp_path / "merged"
+        write_merged(merged, out)
+        doc = analyze_path(out)
+        assert doc["reconciliation"]["checked"]
+        assert doc["reconciliation"]["mismatches"] == []
+
+    def test_single_rank_shortcut_writes_no_shards(self, rng, tmp_path):
+        from repro.core import build_cholesky_dag, uniform_map
+        from repro.runtime.distributed import execute_numeric_distributed
+        from repro.tiles.tilematrix import TiledSymmetricMatrix
+
+        n, nb = 96, 16
+        a = rng.standard_normal((n, n))
+        mat = TiledSymmetricMatrix.from_dense(a @ a.T + n * np.eye(n), nb)
+        dag = build_cholesky_dag(n, nb, uniform_map(6, Precision.FP64))
+        shard_dir = tmp_path / "shards"
+        execute_numeric_distributed(dag.graph, mat, 1, shard_dir=shard_dir)
+        # the in-process shortcut has no ranks to shard
+        assert not list(shard_dir.glob("events-rank*.jsonl")) \
+            if shard_dir.exists() else True

@@ -1,0 +1,95 @@
+"""Property tests for the histogram reservoir's deterministic decimation.
+
+``_HistSeries`` keeps a bounded systematic sample of the stream: at the
+cap it drops every other kept sample and doubles its stride.  Two
+invariants matter across the cap boundary: the reservoir never exceeds
+``max_samples``, and nearest-rank quantiles stay close to the exact
+stream quantile — within a rank window of a few strides, since the
+retained samples are evenly spaced through the stream.
+"""
+
+import bisect
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram
+
+_values = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+              allow_infinity=False, width=64),
+    min_size=1,
+    max_size=500,
+)
+_caps = st.integers(min_value=2, max_value=64)
+
+
+def _series(hist: Histogram):
+    (series,) = hist._series.values()
+    return series
+
+
+class TestReservoirBound:
+    @given(values=_values, cap=_caps)
+    def test_samples_never_exceed_cap(self, values, cap):
+        hist = Histogram("h", max_samples=cap)
+        for v in values:
+            hist.observe(v)
+            series = _series(hist)
+            assert len(series.samples) <= hist.max_samples
+            # stride stays a power of two — the decimation invariant
+            assert series.stride & (series.stride - 1) == 0
+
+    @given(values=_values, cap=_caps)
+    def test_exact_running_stats_survive_decimation(self, values, cap):
+        hist = Histogram("h", max_samples=cap)
+        for v in values:
+            hist.observe(v)
+        assert hist.count() == len(values)
+        assert hist.sum() == sum(values)
+        series = _series(hist)
+        assert series.min == min(values)
+        assert series.max == max(values)
+
+
+class TestQuantileAccuracy:
+    @given(values=_values, cap=_caps,
+           q=st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_within_stride_window_of_exact(self, values, q, cap):
+        """On a sorted stream, arrival order == value order, so the
+        systematic reservoir's nearest-rank quantile must land within a
+        few strides of the exact stream rank — including after the cap
+        boundary has been crossed (several decimations)."""
+        ordered = sorted(values)
+        hist = Histogram("h", max_samples=cap)
+        for v in ordered:
+            hist.observe(v)
+        series = _series(hist)
+        est = hist.quantile(q)
+        assert not math.isnan(est)
+        assert ordered[0] <= est <= ordered[-1]
+
+        m = len(ordered)
+        exact_idx = max(0, min(m - 1, math.ceil(q * m) - 1))
+        # the estimate is a real stream element; its rank interval
+        # (duplicates give an interval) must overlap the exact rank to
+        # within the reservoir's spacing
+        lo = bisect.bisect_left(ordered, est)
+        hi = bisect.bisect_right(ordered, est) - 1
+        slack = 4 * series.stride
+        assert lo - slack <= exact_idx <= hi + slack
+
+    def test_cap_boundary_deterministic(self):
+        """Walk a monotone stream straight through two decimations."""
+        hist = Histogram("h", max_samples=8)
+        for v in range(100):
+            hist.observe(float(v))
+        series = _series(hist)
+        assert len(series.samples) <= 8
+        assert series.stride == 16  # 100 observations through cap 8
+        assert hist.count() == 100
+        # median of 0..99 from the decimated reservoir stays near 49.5
+        assert abs(hist.quantile(0.5) - 49.5) <= 4 * series.stride
+        assert hist.quantile(0.0) == min(series.samples)
+        assert hist.quantile(1.0) == max(series.samples)

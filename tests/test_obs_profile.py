@@ -1,0 +1,134 @@
+"""Tests for the sampling wall-clock profiler and hot-region hooks."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    _NULL_REGION,
+    PROFILE_SCHEMA,
+    SamplingProfiler,
+    active_profiler,
+    hot_region,
+    write_profile,
+)
+
+
+def _spin(seconds: float) -> int:
+    """Burn wall time in a frame the sampler can attribute."""
+    t0 = time.perf_counter()
+    total = 0
+    while time.perf_counter() - t0 < seconds:
+        total += sum(range(200))
+    return total
+
+
+class TestHotRegion:
+    def test_null_region_when_inactive(self):
+        assert active_profiler() is None
+        assert hot_region("anything") is _NULL_REGION
+        assert hot_region("other") is _NULL_REGION  # shared singleton
+        with hot_region("noop"):
+            pass  # no profiler, no effect
+
+    def test_regions_recorded_while_active(self):
+        with SamplingProfiler(0.01) as prof:
+            assert active_profiler() is prof
+            for _ in range(3):
+                with hot_region("test.region"):
+                    _spin(0.002)
+        assert active_profiler() is None
+        calls, seconds = prof.regions["test.region"]
+        assert calls == 3
+        assert seconds > 0.0
+
+    def test_nested_profilers_restore_previous(self):
+        outer = SamplingProfiler(0.05).start()
+        try:
+            inner = SamplingProfiler(0.05).start()
+            assert active_profiler() is inner
+            inner.stop()
+            assert active_profiler() is outer
+        finally:
+            outer.stop()
+        assert active_profiler() is None
+
+
+class TestSamplingProfiler:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(0.0)
+
+    def test_double_start_raises(self):
+        prof = SamplingProfiler(0.05).start()
+        try:
+            with pytest.raises(RuntimeError):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_collects_samples_and_top_frames(self):
+        with SamplingProfiler(0.001) as prof:
+            _spin(0.1)
+        assert prof.n_samples > 0
+        frames = prof.top_frames(10)
+        assert 0 < len(frames) <= 10
+        for f in frames:
+            assert 0.0 <= f["self_fraction"] <= 1.0
+            assert f["self_samples"] <= f["cum_samples"]
+        # the spin loop should dominate the self samples
+        assert any(f["function"] == "_spin" for f in frames)
+
+    def test_overhead_is_measured_and_small(self):
+        with SamplingProfiler(0.002) as prof:
+            _spin(0.1)
+        assert prof.overhead_seconds >= 0.0
+        # the sampler only walks one short stack per tick; even a 2 ms
+        # interval stays well under the 5 % acceptance bar
+        assert prof.overhead_fraction < 0.05
+
+    def test_report_document(self, tmp_path):
+        with SamplingProfiler(0.002) as prof:
+            with hot_region("r1"):
+                _spin(0.02)
+        doc = prof.report(top=5, extra={"tasks_per_second": 1234.5})
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["n_samples"] == prof.n_samples
+        assert doc["tasks_per_second"] == 1234.5
+        assert len(doc["top_frames"]) <= 5
+        regions = {r["name"]: r for r in doc["hot_regions"]}
+        assert regions["r1"]["calls"] == 1
+        assert 0.0 <= regions["r1"]["fraction"] <= 1.0
+        path = write_profile(tmp_path / "prof.json", doc)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["schema"] == PROFILE_SCHEMA
+
+    def test_render_includes_overhead_and_regions(self):
+        with SamplingProfiler(0.002) as prof:
+            with hot_region("r.render"):
+                _spin(0.02)
+        text = prof.render(top=3)
+        assert "measured overhead" in text
+        assert "r.render" in text
+
+    def test_render_with_zero_samples(self):
+        prof = SamplingProfiler(10.0).start()
+        prof.stop()
+        assert "0 samples" in prof.render()
+
+
+class TestSimulatorIntegration:
+    def test_simulator_hot_regions_fire(self):
+        from repro.core import simulate_cholesky, uniform_map
+        from repro.perfmodel import GPU_BY_NAME, NodeSpec
+        from repro.precision import Precision
+        from repro.runtime import Platform
+
+        node = NodeSpec("t", GPU_BY_NAME["V100"], 1, 256e9, 25e9, 1.5e-6)
+        platform = Platform(node=node, n_nodes=1)
+        with SamplingProfiler(0.005) as prof:
+            simulate_cholesky(2048, 256, uniform_map(8, Precision.FP64), platform)
+        assert "sim.ready_heap_loop" in prof.regions
+        assert "dag.build" in prof.regions
+        assert prof.regions["sim.ready_heap_loop"][1] > 0.0
