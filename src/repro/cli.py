@@ -5,6 +5,9 @@ Commands
 ``mle``       fit a synthetic dataset at one or more accuracy levels
 ``maps``      print the kernel/communication precision maps for an app
 ``simulate``  price a mixed-precision Cholesky on a simulated platform
+``simbench``  benchmark DAG build + scheduling throughput (tasks/sec,
+              peak RSS) in materialize or stream (million-task) mode;
+              emits the BENCH document the CI bench floors gate on
 ``sweep``     fan a grid of configurations across a process pool (cached)
 ``bench``     run one experiment driver (table/figure) and print its table
 ``info``      show the encoded GPU specifications (Table I)
@@ -107,6 +110,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under the sampling profiler and write the "
                         "repro.obs.profile/1 document (see docs/OBSERVABILITY.md)")
     p.add_argument("--run-id", default=None, help="run identifier for logs/manifest")
+
+    p = sub.add_parser(
+        "simbench",
+        help="benchmark DAG build + scheduling throughput (bench floors)",
+    )
+    p.add_argument("--gpu", default="V100", choices=["V100", "A100", "H100"])
+    p.add_argument("--gpus", type=int, default=2, help="GPUs per node")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--nt", type=int, default=96,
+                   help="tiles per dimension; the matrix size is nt*nb "
+                        "(default: 96 — ~147k tasks, CI scale)")
+    p.add_argument("--nb", type=int, default=512)
+    p.add_argument("--config", default="FP64/FP16",
+                   choices=["FP64", "FP32", "FP64/FP16_32", "FP64/FP16"])
+    p.add_argument("--strategy", default="auto", choices=["auto", "stc", "ttc"])
+    p.add_argument("--policy", default="panel-first", choices=list(POLICY_NAMES))
+    p.add_argument("--mode", default="materialize",
+                   choices=["materialize", "stream"],
+                   help="materialize: build the full DAG then simulate; "
+                        "stream: lazy k-major emission through "
+                        "simulate_stream (million-task mode)")
+    p.add_argument("--lookahead", type=int, default=None,
+                   help="emission window for --mode stream "
+                        "(default: max(4096, nt^2 + 4*nt))")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the BENCH run-summary JSON (throughput + "
+                        "peak RSS floors) for repro compare / history")
+    p.add_argument("--run-id", default=None, help="run identifier for the manifest")
 
     p = sub.add_parser("sweep", help="run a campaign over a grid of configurations")
     p.add_argument("--n", type=int, action="append", default=None,
@@ -211,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default=None,
                    help="restrict the --against-history window to runs with "
                         "this precision configuration")
+    p.add_argument("--history-command", default=None, metavar="COMMAND",
+                   help="restrict the --against-history window to runs whose "
+                        "manifest command matches (e.g. simbench-stream), so "
+                        "different bench modes gate against their own history")
     p.add_argument("--fail-on-regress", action="store_true",
                    help="exit non-zero when any metric regresses beyond threshold")
     p.add_argument("--all-metrics", action="store_true",
@@ -461,6 +496,110 @@ def _cmd_simulate(args) -> int:
             trace=rep.trace if record_events else None,
             manifest=manifest,
         )
+        print(f"  metrics → {args.metrics_out}")
+    return 0
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set of this process, in bytes (0 when unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS; it is monotonic
+    over the process lifetime, so comparing modes needs one process per
+    mode (which is how the CI bench-floor job runs ``simbench``).
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
+def _cmd_simbench(args) -> int:
+    import time
+
+    from . import obs
+    from .core import (
+        ConversionStrategy,
+        build_cholesky_dag,
+        simulate_cholesky,
+        two_precision_map,
+        uniform_map,
+    )
+    from .perfmodel import GPU_BY_NAME, NodeSpec
+    from .precision import Precision
+    from .runtime import Platform
+    from .runtime.simulator import simulate
+
+    gpu = GPU_BY_NAME[args.gpu]
+    node = NodeSpec("cli", gpu, args.gpus, 256e9, 25e9, 1.5e-6)
+    platform = Platform(node=node, n_nodes=args.nodes)
+    nt = args.nt
+    n = nt * args.nb
+    kmap = {
+        "FP64": uniform_map(nt, Precision.FP64),
+        "FP32": uniform_map(nt, Precision.FP32),
+        "FP64/FP16_32": two_precision_map(nt, Precision.FP16_32),
+        "FP64/FP16": two_precision_map(nt, Precision.FP16),
+    }[args.config]
+    strategy = {
+        "auto": ConversionStrategy.AUTO,
+        "stc": ConversionStrategy.STC,
+        "ttc": ConversionStrategy.TTC,
+    }[args.strategy]
+
+    t0 = time.perf_counter()
+    if args.mode == "stream":
+        # emission is interleaved with scheduling: one timed region
+        rep = simulate_cholesky(
+            n, args.nb, kmap, platform, strategy=strategy,
+            record_events=False, policy=args.policy,
+            stream=True, lookahead=args.lookahead,
+        )
+        t_build_done = t0
+    else:
+        dag = build_cholesky_dag(
+            n, args.nb, kmap, strategy=strategy, grid=platform.process_grid(),
+        )
+        t_build_done = time.perf_counter()
+        rep = simulate(dag.graph, platform, args.nb,
+                       record_events=False, policy=args.policy)
+    t1 = time.perf_counter()
+
+    wall = t1 - t0
+    n_tasks = rep.stats.n_tasks
+    rate = n_tasks / wall if wall > 0.0 else 0.0
+    rss = _peak_rss_bytes()
+    stats = {
+        "makespan_seconds": rep.stats.makespan,
+        "n_tasks": n_tasks,
+        "tasks_per_second": rate,
+        "dag_build_seconds": t_build_done - t0,
+        "schedule_seconds": t1 - t_build_done,
+        "peak_rss_bytes": rss,
+        "peak_live_tasks": rep.peak_live_tasks,
+    }
+
+    print(f"simbench {args.mode}: {args.config} on "
+          f"{args.nodes}x{args.gpus}x{args.gpu} "
+          f"(nt={nt}, nb={args.nb}, policy {rep.policy}):")
+    print(f"  tasks      {n_tasks}  ({rate:,.0f} tasks/s over {wall:.2f} s wall)")
+    print(f"  build      {stats['dag_build_seconds']:.2f} s  "
+          f"schedule {stats['schedule_seconds']:.2f} s")
+    print(f"  makespan   {stats['makespan_seconds']:.4f} s (simulated)")
+    print(f"  peak live  {rep.peak_live_tasks} tasks  "
+          f"peak rss {rss / 1e6:,.0f} MB")
+
+    if args.metrics_out:
+        # command carries the mode so `repro compare --against-history
+        # --history-command simbench-<mode>` windows each mode separately
+        manifest = obs.build_manifest(
+            run_id=args.run_id,
+            command=f"simbench-{args.mode}",
+            config={**vars(args), "n": n},
+            policy=args.policy,
+        )
+        obs.write_run_summary(args.metrics_out, stats=stats, manifest=manifest)
         print(f"  metrics → {args.metrics_out}")
     return 0
 
@@ -726,6 +865,8 @@ def _compare_against_history(args, thresholds) -> int:
         candidate = json.load(fh)
     filters = {k: getattr(args, k) for k in ("policy", "nt", "config")
                if getattr(args, k) is not None}
+    if args.history_command is not None:
+        filters["command"] = args.history_command
     try:
         with Warehouse(args.against_history) as wh:
             history = wh.window_scopes(args.window, **filters)
@@ -1010,6 +1151,7 @@ def main(argv: list[str] | None = None) -> int:
         "mle": _cmd_mle,
         "maps": _cmd_maps,
         "simulate": _cmd_simulate,
+        "simbench": _cmd_simbench,
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "info": _cmd_info,

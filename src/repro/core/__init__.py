@@ -11,7 +11,7 @@ from .conversion import (
     needs_conversion,
     payload_encoding,
 )
-from .dag_cholesky import CholeskyDag, build_cholesky_dag
+from .dag_cholesky import CholeskyDag, build_cholesky_dag, cholesky_task_count, stream_cholesky_tasks
 from .dtd_cholesky import build_cholesky_dag_dtd
 from .refinement import RefinementResult, refine_solve
 from .precision_map import (
@@ -21,7 +21,7 @@ from .precision_map import (
     two_precision_map,
     uniform_map,
 )
-from .solver import FactorizationPlan, MPCholeskySolver, simulate_cholesky
+from .solver import FactorizationPlan, MPCholeskySolver, default_stream_lookahead, simulate_cholesky
 
 __all__ = [
     "CholeskyDag",
@@ -36,6 +36,7 @@ __all__ = [
     "accumulator_encoding",
     "band_precision_map",
     "build_cholesky_dag",
+    "cholesky_task_count",
     "build_cholesky_dag_dtd",
     "build_comm_precision_map",
     "build_precision_map",
@@ -45,7 +46,9 @@ __all__ = [
     "needs_conversion",
     "payload_encoding",
     "refine_solve",
+    "default_stream_lookahead",
     "simulate_cholesky",
+    "stream_cholesky_tasks",
     "solve_with_factor",
     "two_precision_map",
     "uniform_map",

@@ -18,19 +18,36 @@ tile it writes, one rank per GPU (Section VII-A's P×Q grid).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..obs.profile import hot_region
 from ..perfmodel.kernels import KernelKind, kernel_flops
 from ..precision.formats import Precision
-from ..runtime.dsl import TaskClassSpec, TaskInstance, unroll
-from ..runtime.task import TaskGraph, TileRef
+from ..runtime.dsl import TaskClassSpec, TaskInstance, unroll, unroll_stream
+from ..runtime.task import Task, TaskGraph, TileRef
 from ..tiles.distribution import ProcessGrid
 from ..tiles.kernels import trsm_execution_precision
 from .config import ConversionStrategy
 from .conversion import CommPrecisionMap, build_comm_precision_map, payload_encoding
 from .precision_map import KernelPrecisionMap
 
-__all__ = ["CholeskyDag", "build_cholesky_dag"]
+__all__ = [
+    "CholeskyDag",
+    "build_cholesky_dag",
+    "cholesky_task_count",
+    "stream_cholesky_tasks",
+]
+
+
+def cholesky_task_count(nt: int) -> int:
+    """Number of tasks the Cholesky PTG unrolls to for ``nt`` tiles.
+
+    ``nt`` POTRF + ``nt(nt−1)/2`` TRSM + the same in SYRK +
+    ``C(nt, 3)`` GEMM — cubic in NT, GEMM-dominated (~``nt³/6``).
+    """
+    if nt < 1:
+        raise ValueError("nt must be positive")
+    return nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) // 6
 
 _KIND_RANK = {
     KernelKind.POTRF: 0,
@@ -53,16 +70,13 @@ class CholeskyDag:
     grid: ProcessGrid
 
 
-def build_cholesky_dag(
+def _prepare(
     n: int,
     nb: int,
     kernel_map: KernelPrecisionMap,
-    *,
-    strategy: ConversionStrategy = ConversionStrategy.AUTO,
-    grid: ProcessGrid | None = None,
-    comm_map: CommPrecisionMap | None = None,
-) -> CholeskyDag:
-    """Unroll Algorithm 1 into a :class:`~repro.runtime.task.TaskGraph`."""
+    grid: ProcessGrid | None,
+    comm_map: CommPrecisionMap | None,
+) -> tuple[int, ProcessGrid, CommPrecisionMap]:
     nt = kernel_map.nt
     expected_nt = -(-n // nb)
     if nt != expected_nt:
@@ -71,6 +85,30 @@ def build_cholesky_dag(
         grid = ProcessGrid(1, 1)
     if comm_map is None:
         comm_map = build_comm_precision_map(kernel_map)
+    return nt, grid, comm_map
+
+
+def _cholesky_classes(
+    n: int,
+    nb: int,
+    kernel_map: KernelPrecisionMap,
+    strategy: ConversionStrategy,
+    grid: ProcessGrid,
+    comm_map: CommPrecisionMap,
+) -> tuple[list[TaskClassSpec], TaskClassSpec]:
+    """The four Cholesky task classes, in both emission layouts.
+
+    Returns ``(classes, kmajor)``: the class-major spec list the
+    materialising :func:`~repro.runtime.dsl.unroll` has always consumed
+    (POTRF space, then TRSM, SYRK, GEMM — *not* topological, POTRF(k)
+    reads a SYRK emitted later), and a single merged spec whose space
+    interleaves all four classes iteration-major — for each ``k``:
+    POTRF(k), the TRSMs, the SYRKs, then the GEMMs of that iteration.
+    The k-major emission *is* topological (every read names a task of
+    the same or an earlier ``k`` already emitted), which is what lets
+    :func:`~repro.runtime.dsl.unroll_stream` skip the Kahn sort.
+    """
+    nt = kernel_map.nt
 
     def edge(t: int) -> int:
         """Edge length of tile row/col ``t`` (ragged last tile)."""
@@ -260,8 +298,60 @@ def build_cholesky_dag(
         TaskClassSpec("SYRK", syrk_space, syrk_inst),
         TaskClassSpec("GEMM", gemm_space, gemm_inst),
     ]
+
+    # -- k-major emission: one merged class whose space interleaves the
+    # four kinds iteration by iteration, already topologically sorted
+    _inst = {
+        KernelKind.POTRF: potrf_inst,
+        KernelKind.TRSM: trsm_inst,
+        KernelKind.SYRK: syrk_inst,
+        KernelKind.GEMM: gemm_inst,
+    }
+
+    def kmajor_space():
+        for k in range(nt):
+            yield (KernelKind.POTRF, (k,))
+            for m in range(k + 1, nt):
+                yield (KernelKind.TRSM, (m, k))
+            for m in range(k + 1, nt):
+                yield (KernelKind.SYRK, (m, k))
+            for m in range(k + 2, nt):
+                for nn in range(k + 1, m):
+                    yield (KernelKind.GEMM, (m, nn, k))
+
+    def kmajor_inst(tagged):
+        kind, params = tagged
+        return _inst[kind](params)
+
+    kmajor = TaskClassSpec("CHOLESKY", kmajor_space, kmajor_inst)
+    return classes, kmajor
+
+
+def build_cholesky_dag(
+    n: int,
+    nb: int,
+    kernel_map: KernelPrecisionMap,
+    *,
+    strategy: ConversionStrategy = ConversionStrategy.AUTO,
+    grid: ProcessGrid | None = None,
+    comm_map: CommPrecisionMap | None = None,
+    stream: bool = False,
+) -> CholeskyDag:
+    """Unroll Algorithm 1 into a :class:`~repro.runtime.task.TaskGraph`.
+
+    ``stream=True`` builds the same graph through the one-pass streaming
+    unroll (k-major emission, no instance list or Kahn sort) — faster
+    and lighter, but the task ids follow the k-major emission order
+    instead of the historical Kahn order over the class-major emission,
+    so schedules are *valid but not tid-identical* to the default path.
+    The default stays the materialising path to keep panel-first's
+    pinned regression constants byte-stable.  For simulation without any
+    materialised graph at all, see :func:`stream_cholesky_tasks`.
+    """
+    nt, grid, comm_map = _prepare(n, nb, kernel_map, grid, comm_map)
+    classes, kmajor = _cholesky_classes(n, nb, kernel_map, strategy, grid, comm_map)
     with hot_region("dag.build"):
-        graph = unroll(classes)
+        graph = unroll([kmajor], stream=True) if stream else unroll(classes)
     return CholeskyDag(
         graph=graph,
         n=n,
@@ -271,3 +361,26 @@ def build_cholesky_dag(
         strategy=strategy,
         grid=grid,
     )
+
+
+def stream_cholesky_tasks(
+    n: int,
+    nb: int,
+    kernel_map: KernelPrecisionMap,
+    *,
+    strategy: ConversionStrategy = ConversionStrategy.AUTO,
+    grid: ProcessGrid | None = None,
+    comm_map: CommPrecisionMap | None = None,
+) -> Iterator[Task]:
+    """Lazily emit the Cholesky tasks in k-major (topological) order.
+
+    The generator counterpart of :func:`build_cholesky_dag` for
+    :func:`repro.runtime.simulator.simulate_stream`: tasks are yielded
+    one at a time and nothing global is retained besides the
+    ``(class, params) → tid`` map, so simulating NT in the thousands
+    (``cholesky_task_count(nt) ≈ nt³/6`` tasks) never materialises the
+    DAG.
+    """
+    _nt, grid, comm_map = _prepare(n, nb, kernel_map, grid, comm_map)
+    _classes, kmajor = _cholesky_classes(n, nb, kernel_map, strategy, grid, comm_map)
+    return unroll_stream([kmajor])

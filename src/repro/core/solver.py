@@ -16,16 +16,21 @@ import numpy as np
 from ..perfmodel.gpus import GPUSpec
 from ..runtime.executor import execute_numeric
 from ..runtime.platform import Platform
-from ..runtime.simulator import SimReport, simulate
+from ..runtime.simulator import SimReport, simulate, simulate_stream
 from ..tiles.norms import tile_norms
 from ..tiles.tilematrix import TiledSymmetricMatrix
 from .cholesky import CholeskyResult, logdet_from_factor, mp_cholesky, solve_with_factor
 from .config import ConversionStrategy, MPConfig
 from .conversion import CommPrecisionMap, build_comm_precision_map
-from .dag_cholesky import CholeskyDag, build_cholesky_dag
+from .dag_cholesky import CholeskyDag, build_cholesky_dag, stream_cholesky_tasks
 from .precision_map import KernelPrecisionMap, build_precision_map
 
-__all__ = ["FactorizationPlan", "MPCholeskySolver", "simulate_cholesky"]
+__all__ = [
+    "FactorizationPlan",
+    "MPCholeskySolver",
+    "default_stream_lookahead",
+    "simulate_cholesky",
+]
 
 
 @dataclass
@@ -123,6 +128,19 @@ def _default_gpu() -> GPUSpec:
     return V100
 
 
+def default_stream_lookahead(nt: int) -> int:
+    """Emission window for streamed Cholesky simulation.
+
+    About two trailing-update sweeps (``nt² + 4·nt``) so every task is
+    emitted before its last predecessor finishes — empirically the
+    point where the streamed panel-first schedule matches the
+    materialised one — with a floor that keeps tiny problems trivially
+    windowless.  Live memory is O(window) = O(nt²), against the
+    O(nt³) task list the materialising path holds.
+    """
+    return max(4096, nt * nt + 4 * nt)
+
+
 def simulate_cholesky(
     n: int,
     nb: int,
@@ -133,6 +151,8 @@ def simulate_cholesky(
     enforce_memory: bool = True,
     record_events: bool = True,
     policy: str | None = None,
+    stream: bool = False,
+    lookahead: int | None = None,
 ) -> SimReport:
     """Symbolic (time-only) mixed-precision Cholesky on a platform.
 
@@ -140,7 +160,29 @@ def simulate_cholesky(
     matrix sizes of Figs. 8–11 are reproduced without forming the
     matrices.  ``policy`` selects the scheduling policy (see
     :mod:`repro.runtime.policies`; default ``panel-first``).
+
+    ``stream=True`` is million-task mode: tasks are emitted lazily in
+    k-major order and simulated through
+    :func:`repro.runtime.simulator.simulate_stream` with an emission
+    window of ``lookahead`` tasks (default
+    :func:`default_stream_lookahead`), so the DAG is never materialised
+    and peak memory is O(NT²) instead of O(NT³).  Restricted to
+    frontier-local policies (panel-first, fifo).
     """
+    if stream:
+        nt = kernel_map.nt
+        source = stream_cholesky_tasks(
+            n, nb, kernel_map, strategy=strategy, grid=platform.process_grid()
+        )
+        return simulate_stream(
+            source,
+            platform,
+            nb,
+            lookahead=lookahead if lookahead is not None else default_stream_lookahead(nt),
+            enforce_memory=enforce_memory,
+            record_events=record_events,
+            policy=policy,
+        )
     dag = build_cholesky_dag(
         n,
         nb,

@@ -73,6 +73,13 @@ DEFAULT_THRESHOLDS: dict[str, Threshold] = {
     "conversion_seconds": Threshold(0.02, "lower"),
     "n_evictions": Threshold(0.0, "lower"),
     "n_failed": Threshold(0.0, "lower"),
+    # bench floors (``repro simbench``): scheduling throughput and peak
+    # resident set.  Wide tolerances — these run on shared CI machines —
+    # but a 30% tasks/sec collapse or a 25% RSS blow-up is a real
+    # hot-path or memory regression, not noise.
+    "tasks_per_second": Threshold(0.30, "higher"),
+    "peak_rss_bytes": Threshold(0.25, "lower"),
+    "peak_live_tasks": Threshold(0.10, "lower"),
 }
 
 

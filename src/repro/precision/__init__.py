@@ -8,7 +8,7 @@ underpins both the Fig. 1 accuracy study and the numeric execution mode of
 the mixed-precision Cholesky.
 """
 
-from .emulate import quantize, quantize_tile, storage_dtype, truncate_mantissa
+from .emulate import quantize, quantize_batch, quantize_tile, storage_dtype, truncate_mantissa
 from .errors import (
     combine_frobenius,
     frobenius,
@@ -48,6 +48,7 @@ __all__ = [
     "mixed_syrk",
     "parse_precision",
     "quantize",
+    "quantize_batch",
     "quantize_tile",
     "relative_frobenius_error",
     "rule_epsilon",

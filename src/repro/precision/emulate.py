@@ -29,9 +29,12 @@ from .formats import FORMAT_INFO, Precision
 __all__ = [
     "truncate_mantissa",
     "quantize",
+    "quantize_batch",
     "quantize_tile",
     "storage_dtype",
 ]
+
+_EXP_MASK = np.uint32(0x7F800000)
 
 
 def truncate_mantissa(x: np.ndarray, keep_bits: int) -> np.ndarray:
@@ -40,6 +43,12 @@ def truncate_mantissa(x: np.ndarray, keep_bits: int) -> np.ndarray:
     Implements round-to-nearest-even on the binary32 encoding, which is
     how TF32 (11 bits) and BF16 (8 bits) inputs are produced from FP32
     registers on the GPU.  Returns a float32 array.
+
+    Non-finite lanes pass through bit-exactly: NaNs keep their payload
+    (the rounding add would otherwise carry a low-payload NaN into ±inf)
+    and ±inf stays ±inf (an all-ones pattern would wrap the uint32 add
+    into a tiny denormal).  Finite values that round past the largest
+    representable float32 overflow to ±inf, matching hardware saturation.
     """
     if keep_bits >= 24:
         return np.asarray(x, dtype=np.float32)
@@ -52,6 +61,9 @@ def truncate_mantissa(x: np.ndarray, keep_bits: int) -> np.ndarray:
     lsb = (bits >> drop) & one
     round_bias = (one << (drop - one)) - one + lsb
     rounded = (bits + round_bias) >> drop << drop
+    nonfinite = (bits & _EXP_MASK) == _EXP_MASK
+    if nonfinite.any():
+        rounded = np.where(nonfinite, bits, rounded)
     return rounded.view(np.float32).copy()
 
 
@@ -76,6 +88,32 @@ def quantize(x: np.ndarray, precision: Precision) -> np.ndarray:
     if precision == Precision.BF16_32:
         return truncate_mantissa(x.astype(np.float32), 8).astype(np.float64)
     raise ValueError(f"unsupported precision {precision!r}")
+
+
+def quantize_batch(tiles: "list[np.ndarray]", precision: Precision) -> "list[np.ndarray]":
+    """Quantise many arrays through one vectorised :func:`quantize` pass.
+
+    Equivalent to ``[quantize(t, precision) for t in tiles]`` but pays
+    the dtype casts / mantissa bit-twiddling once over the concatenated
+    payload instead of once per tile — the same batching trick that
+    vectorised ``build_comm_precision_map``.  Shapes may be ragged; each
+    output keeps its input's shape.  Used by the numeric executors to
+    seed all version-0 tiles of one storage precision in a single call,
+    and by :mod:`repro.tlr.compression` for low-rank factor pairs.
+    """
+    arrays = [np.asarray(t, dtype=np.float64) for t in tiles]
+    if not arrays:
+        return []
+    if precision == Precision.FP64:
+        return arrays
+    flat = np.concatenate([a.ravel() for a in arrays])
+    q = quantize(flat, precision)
+    out: list[np.ndarray] = []
+    offset = 0
+    for a in arrays:
+        out.append(q[offset : offset + a.size].reshape(a.shape))
+        offset += a.size
+    return out
 
 
 def storage_dtype(precision: Precision) -> np.dtype:

@@ -1,7 +1,7 @@
 """PaRSEC-like task runtime: DAG, PTG DSL, simulator, numeric executor."""
 
 from .distributed import DistributedReport, execute_numeric_distributed, pick_mp_context
-from .dsl import TaskClassSpec, TaskInstance, unroll
+from .dsl import StreamOrderError, TaskClassSpec, TaskInstance, unroll, unroll_stream
 from .dtd import AccessMode, DataAccess, DTDRuntime
 from .executor import execute_numeric
 from .gantt import ascii_gantt, engine_utilisation, to_chrome_trace
@@ -18,7 +18,7 @@ from .policies import (
     policy_topological_order,
     register_policy,
 )
-from .simulator import SimReport, simulate
+from .simulator import SimReport, simulate, simulate_stream
 from .task import Task, TaskGraph, TaskInput, TileRef
 from .tracing import RunStats, Trace, TraceEvent
 
@@ -36,6 +36,7 @@ __all__ = [
     "SchedulePolicy",
     "RunStats",
     "SimReport",
+    "StreamOrderError",
     "Task",
     "TaskClassSpec",
     "TaskGraph",
@@ -54,6 +55,8 @@ __all__ = [
     "policy_topological_order",
     "register_policy",
     "simulate",
+    "simulate_stream",
     "to_chrome_trace",
     "unroll",
+    "unroll_stream",
 ]

@@ -126,17 +126,14 @@ def pick_mp_context() -> mp.context.BaseContext:
 
 
 def _seed_values(graph: TaskGraph, mat: TiledSymmetricMatrix, rank: int) -> dict:
-    """Version-0 tiles needed by this rank's tasks, at storage precision."""
-    values: dict[tuple[int, int, int], np.ndarray] = {}
-    for task in graph:
-        if task.rank != rank:
-            continue
-        for inp in task.inputs:
-            if inp.producer is None:
-                key = (inp.tile.i, inp.tile.j, inp.tile.version)
-                if key not in values:
-                    values[key] = quantize(mat.get(key[0], key[1]), inp.storage_precision)
-    return values
+    """Version-0 tiles needed by this rank's tasks, at storage precision.
+
+    One vectorised quantisation pass per storage precision (see
+    :func:`repro.runtime.executor._seed_version0`).
+    """
+    from .executor import _seed_version0
+
+    return _seed_version0(graph, mat, rank)
 
 
 def _consumer_plan(graph: TaskGraph) -> dict[int, list[tuple[int, Precision]]]:

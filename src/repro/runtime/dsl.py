@@ -19,12 +19,22 @@ section.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..precision.formats import Precision
 from .task import Task, TaskGraph, TaskInput, TileRef
 
-__all__ = ["TaskInstance", "TaskClassSpec", "unroll"]
+__all__ = ["TaskInstance", "TaskClassSpec", "StreamOrderError", "unroll", "unroll_stream"]
+
+
+class StreamOrderError(ValueError):
+    """Emission order is not topological: an instance reads an unemitted producer.
+
+    Raised by :func:`unroll_stream` when a task references a producer
+    that has not been yielded yet (e.g. a cross-class forward
+    reference).  :func:`unroll` with ``stream=True`` catches it and
+    falls back to the materialising Kahn path.
+    """
 
 
 @dataclass
@@ -64,15 +74,109 @@ class TaskClassSpec:
     instantiate: Callable[[tuple[int, ...]], TaskInstance]
 
 
-def unroll(classes: Sequence[TaskClassSpec]) -> TaskGraph:
+def _instance_inputs(
+    inst: TaskInstance, tid_by_key: dict[tuple[str, tuple[int, ...]], int]
+) -> list[TaskInput]:
+    """Resolve an instance's reads against already-assigned task ids.
+
+    Raises :class:`StreamOrderError` when a producer has no id yet —
+    the signal that the emission order is not topological.
+    """
+    inputs: list[TaskInput] = []
+    for producer_key, tile, payload_prec, storage_prec, elements, role in inst.reads:
+        if producer_key is None:
+            producer = None
+        else:
+            producer = tid_by_key.get(producer_key)
+            if producer is None:
+                raise StreamOrderError(
+                    f"{inst.cls}{inst.params} reads from {producer_key} "
+                    "which has not been emitted yet"
+                )
+        inputs.append(
+            TaskInput(
+                producer=producer,
+                tile=tile,
+                payload_precision=payload_prec,
+                storage_precision=storage_prec,
+                elements=elements,
+                role=role,
+            )
+        )
+    return inputs
+
+
+def unroll_stream(classes: Sequence[TaskClassSpec]) -> Iterator[Task]:
+    """Lazily unroll task classes, yielding :class:`Task` objects.
+
+    The generator counterpart of :func:`unroll` for PTGs whose emission
+    order (class order, then each class's ``space`` order) is already
+    topological — the Cholesky PTG's k-major emission is.  Task ids are
+    assigned densely in emission order and no global instance list,
+    ``index_by_key`` map, or Kahn structures are built: the only
+    retained state is the ``(class, params) → tid`` resolution map, so
+    a consumer that retires tasks as it goes keeps live memory
+    proportional to its window, not the DAG.
+
+    Raises :class:`StreamOrderError` mid-iteration on a forward
+    reference (use :func:`unroll` with ``stream=True`` for the
+    materialising fallback) and ``ValueError`` on duplicate instances.
+    """
+    tid_by_key: dict[tuple[str, tuple[int, ...]], int] = {}
+    tid = 0
+    for spec in classes:
+        for params in spec.space():
+            inst = spec.instantiate(params)
+            key = (inst.cls, inst.params)
+            if key in tid_by_key:
+                raise ValueError(f"duplicate task instance {key}")
+            inputs = _instance_inputs(inst, tid_by_key)
+            task = Task(
+                tid=tid,
+                kind=inst.cls,
+                params=inst.params,
+                rank=inst.rank,
+                precision=inst.precision,
+                flops=inst.flops,
+                output=inst.writes,
+                output_precision=inst.output_precision,
+                inputs=inputs,
+                sender_conversion=inst.sender_conversion,
+                priority=inst.priority,
+            )
+            tid_by_key[key] = tid
+            tid += 1
+            yield task
+
+
+def unroll(classes: Sequence[TaskClassSpec], *, stream: bool = False) -> TaskGraph:
     """Materialise task classes into a finalized :class:`TaskGraph`.
 
-    All instances are collected first, then topologically ordered by
-    their dataflow (Kahn's algorithm, stable with respect to emission
-    order), so task classes may reference each other freely — e.g.
-    POTRF(k) reading the SYRK output of the previous iteration.
-    Raises ``ValueError`` on unknown producers or dependency cycles.
+    With ``stream=False`` (default) all instances are collected first,
+    then topologically ordered by their dataflow (Kahn's algorithm,
+    stable with respect to emission order), so task classes may
+    reference each other freely — e.g. POTRF(k) reading the SYRK output
+    of the previous iteration.  Raises ``ValueError`` on unknown
+    producers or dependency cycles.
+
+    With ``stream=True`` the graph is built incrementally from
+    :func:`unroll_stream` — one pass, no instance list or Kahn
+    structures — when the emission order is already topological; a
+    forward reference triggers a silent fallback to the materialising
+    path (``space`` callables must therefore be re-invokable).  For a
+    topologically-emitted PTG both paths produce bit-identical graphs:
+    Kahn's heap, keyed on emission index, pops ready task *i* only
+    after 0..i-1, so its output order is the emission order itself.
     """
+    if stream:
+        graph = TaskGraph()
+        try:
+            for task in unroll_stream(classes):
+                graph.append(task)
+        except StreamOrderError:
+            return unroll(classes)
+        graph.finalize()
+        return graph
     instances: list[TaskInstance] = []
     index_by_key: dict[tuple[str, tuple[int, ...]], int] = {}
     for spec in classes:

@@ -24,9 +24,10 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..obs import span, traced
+from ..precision.emulate import quantize
 from ..tiles.tilematrix import TiledSymmetricMatrix
-from .executor import _run_task
-from .policies import SchedulePolicy, resolve_policy
+from .executor import _run_task, _seed_version0
+from .policies import SchedState, SchedulePolicy, resolve_policy
 from .task import TaskGraph
 
 __all__ = ["execute_numeric_parallel"]
@@ -50,17 +51,13 @@ def execute_numeric_parallel(
         raise ValueError("n_threads must be positive")
     sched = resolve_policy(policy)
     sched.prepare(graph, None, mat.nb)
+    # no engine/cache model here: the explicit null state (nothing
+    # resident) keeps residency-aware policies deterministic instead of
+    # silently dropping the state argument
+    state = SchedState.null()
     out = mat.copy()
 
-    values: dict[tuple[int, int, int], np.ndarray] = {}
-    from ..precision.emulate import quantize
-
-    for task in graph:
-        for inp in task.inputs:
-            if inp.producer is None:
-                key = (inp.tile.i, inp.tile.j, inp.tile.version)
-                if key not in values:
-                    values[key] = quantize(out.get(key[0], key[1]), inp.storage_precision)
+    values = _seed_version0(graph, out)
 
     n = len(graph)
     in_count = [len(graph.predecessors(t)) for t in range(n)]
@@ -68,7 +65,7 @@ def execute_numeric_parallel(
     ready: list[tuple[float, float, int]] = []  # (*policy key, tid)
     for tid in range(n):
         if in_count[tid] == 0:
-            heapq.heappush(ready, (*sched.key(graph.tasks[tid], 0.0), tid))
+            heapq.heappush(ready, (*sched.key(graph.tasks[tid], 0.0, state), tid))
     done = threading.Event()
     errors: list[BaseException] = []
     remaining = [n]
@@ -99,7 +96,7 @@ def execute_numeric_parallel(
             if remaining[0] == 0:
                 done.set()
             for s in newly_ready:
-                heapq.heappush(ready, (*sched.key(graph.tasks[s], 0.0), s))
+                heapq.heappush(ready, (*sched.key(graph.tasks[s], 0.0, state), s))
 
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         # simple work loop: each worker pops the highest-priority ready

@@ -74,16 +74,36 @@ __all__ = [
 class SchedState:
     """Read-only snapshot of simulator state a policy may consult.
 
-    Only :class:`CommAwareEftPolicy` uses it today; the numeric
-    executors pass ``None`` (they have no engine/cache model), so a
-    policy must degrade gracefully to a static score without it.
+    Only :class:`CommAwareEftPolicy` uses it today.
     ``resident(rank, key)`` answers whether a payload key already sits
     in ``rank``'s GPU cache; ``host_resident(node, key)`` whether the
     node's host memory holds it.
+
+    Callers without a memory-hierarchy model (the numeric executors,
+    graph-level orderings) pass :meth:`null` — an explicit
+    nothing-is-resident state — rather than ``None``, so a
+    residency-aware policy degrades to its *pessimistic* static
+    estimate deterministically instead of silently losing the state
+    argument.  A policy must still tolerate ``state=None`` (same
+    static fallback) for direct callers.
     """
 
     resident: Callable[[int, tuple], bool]
     host_resident: Callable[[int, tuple], bool]
+
+    @staticmethod
+    def null() -> "SchedState":
+        """The explicit no-residency-information state.
+
+        Every payload reports non-resident, so e.g. ``comm-aware-eft``
+        charges full staging for all inputs — a deterministic,
+        graph-only score suitable outside the simulator (numeric
+        executors, :func:`policy_topological_order`).
+        """
+        return SchedState(
+            resident=lambda rank, key: False,
+            host_resident=lambda node, key: False,
+        )
 
 
 class SchedulePolicy:
@@ -91,6 +111,12 @@ class SchedulePolicy:
 
     #: registry name; subclasses must override
     name: str = "abstract"
+
+    #: True when ``prepare`` precomputes per-task data over the whole
+    #: graph (upward ranks, static costs) — such policies cannot drive
+    #: :func:`repro.runtime.simulator.simulate_stream`, which never
+    #: materialises the graph.
+    requires_full_graph: bool = False
 
     def prepare(self, graph: "TaskGraph", platform: "Platform | None", nb: int) -> None:
         """Precompute whatever ``key`` needs; called once per run."""
@@ -182,6 +208,7 @@ class CriticalPathPolicy(SchedulePolicy):
     """
 
     name = "critical-path"
+    requires_full_graph = True
 
     def __init__(self) -> None:
         self._upward: list[float] = []
@@ -217,6 +244,7 @@ class CommAwareEftPolicy(SchedulePolicy):
     """
 
     name = "comm-aware-eft"
+    requires_full_graph = True
 
     def __init__(self) -> None:
         self._platform: "Platform | None" = None
@@ -311,15 +339,22 @@ def policy_topological_order(graph: "TaskGraph", policy: "str | SchedulePolicy |
     which is what the distributed executor needs for its
     deadlock-freedom induction (every blocking wait is for a task
     strictly earlier in this shared order).
+
+    There is no engine/cache model at this level, so policies see the
+    explicit :meth:`SchedState.null` state (nothing resident):
+    residency-aware policies score every payload as needing staging —
+    deterministic and rank-independent, which the shared-order contract
+    requires.
     """
     import heapq
 
     pol = resolve_policy(policy)
     pol.prepare(graph, platform, nb)
+    state = SchedState.null()
     n = len(graph)
     in_count = [len(graph.predecessors(t)) for t in range(n)]
     heap = [
-        (*pol.key(graph.tasks[tid], 0.0), tid) for tid in range(n) if in_count[tid] == 0
+        (*pol.key(graph.tasks[tid], 0.0, state), tid) for tid in range(n) if in_count[tid] == 0
     ]
     heapq.heapify(heap)
     order: list[int] = []
@@ -329,7 +364,7 @@ def policy_topological_order(graph: "TaskGraph", policy: "str | SchedulePolicy |
         for succ in graph.successors(tid):
             in_count[succ] -= 1
             if in_count[succ] == 0:
-                heapq.heappush(heap, (*pol.key(graph.tasks[succ], 0.0), succ))
+                heapq.heappush(heap, (*pol.key(graph.tasks[succ], 0.0, state), succ))
     if len(order) != n:
         raise RuntimeError(f"cycle: ordered {len(order)}/{n} tasks")
     return order

@@ -36,6 +36,17 @@ the scheduler sensitivity the paper's STC-vs-TTC results rest on (see
 ``docs/SCHEDULING.md``).  Policies only affect timing: every task
 consumes exactly the payloads its inputs name, so numerics are
 policy-invariant by construction.
+
+Two entry points share one engine:
+
+* :func:`simulate` — the materialised path over a finalized
+  :class:`~repro.runtime.task.TaskGraph` (regression-pinned
+  bit-identical for panel-first);
+* :func:`simulate_stream` — million-task mode: consumes a lazy task
+  iterator (:func:`repro.runtime.dsl.unroll_stream`), keeps only a
+  bounded emission window of live :class:`Task` objects, and retires
+  each task after execution, so peak memory follows the window instead
+  of the DAG (see ``docs/SCHEDULING.md``).
 """
 
 from __future__ import annotations
@@ -43,11 +54,11 @@ from __future__ import annotations
 import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from ..obs import emit_event, get_registry, traced
 from ..obs.profile import hot_region
 from ..perfmodel.kernels import conversion_time, kernel_time
-from ..perfmodel.transfers import h2d_time
 from ..precision.formats import Precision, bytes_per_element
 from .platform import Platform
 from .policies import SchedState, SchedulePolicy, resolve_policy
@@ -55,7 +66,7 @@ from .task import Task, TaskGraph, TaskInput
 from .tracing import RunStats, Trace, TraceEvent
 from ..core.conversion import needs_conversion
 
-__all__ = ["SimReport", "simulate"]
+__all__ = ["SimReport", "simulate", "simulate_stream"]
 
 # payload keys: (i, j, version, payload_precision)
 _Key = tuple[int, int, int, Precision]
@@ -73,6 +84,9 @@ class SimReport:
     task_start: list[float] = field(default_factory=list)
     #: name of the scheduling policy that produced this schedule
     policy: str = "panel-first"
+    #: most Task objects alive at once (== n_tasks for the materialising
+    #: path; the emission-window high-water mark for simulate_stream)
+    peak_live_tasks: int = 0
 
     @property
     def gflops(self) -> float:
@@ -131,37 +145,35 @@ def _payload_bytes(inp: TaskInput) -> int:
     return inp.elements * bytes_per_element(inp.payload_precision)
 
 
-@traced("sim.run")
-def simulate(
-    graph: TaskGraph,
+def _build_engine(
     platform: Platform,
     nb: int,
-    *,
-    enforce_memory: bool = True,
-    record_events: bool = True,
-    policy: str | SchedulePolicy | None = None,
-) -> SimReport:
-    """Simulate ``graph`` on ``platform`` and return timing + counters.
+    enforce_memory: bool,
+    record: Callable[[TraceEvent], None],
+    stats: RunStats,
+    busy: dict[str, float],
+    evictions_metric,
+    conversions_metric,
+):
+    """The per-run machine model shared by both simulation entry points.
 
-    ``nb`` is the tile edge used to price kernels and conversions (ragged
-    edge tiles are priced as full tiles — a ≤1/NT relative error).
+    Returns ``(seed_host, exec_task, sched_state)``:
 
-    ``policy`` picks the :class:`~repro.runtime.policies.SchedulePolicy`
-    that orders the ready heap (name or instance; default
-    ``panel-first``, bit-identical to the historical scheduler).
-    Policies reorder ready tasks only, so they change timing and data
-    motion but never which payloads a task consumes.
+    * ``seed_host(task)`` registers the task's producer-less inputs as
+      version-0 tiles resident in its node's host memory at t=0;
+    * ``exec_task(task, ready_t) -> (start, end)`` stages the task's
+      inputs through the hierarchy, charges conversions and the kernel,
+      materialises the output (plus the STC payload copy), and runs
+      evictions — the exact operation sequence of the historical inline
+      loop, so panel-first stays regression-pinned bit-identical;
+    * ``sched_state`` exposes live GPU/host residency to policies.
 
-    Telemetry: runs inside a ``sim.run`` span; eviction/conversion
-    counters tick live and per-engine busy time, byte totals, and the
-    makespan land in the :mod:`repro.obs` registry at completion.
+    Per-task input payload keys are computed exactly once here and
+    reused for the protect set, cache probes, and staging — one of the
+    ``repro profile``-guided hot-loop savings (the profile attributed
+    ~an eighth of ``sim.ready_heap_loop`` samples to re-deriving keys
+    and protect sets).
     """
-    sched = resolve_policy(policy)
-    sched.prepare(graph, platform, nb)
-    registry = get_registry()
-    evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
-    conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
-    busy: dict[str, float] = {"compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0}
     gpu = platform.gpu
     n_ranks = platform.n_ranks
     n_nodes = platform.n_nodes
@@ -177,17 +189,44 @@ def simulate(
     #: rank on whose GPU a produced key first materialised
     origin_rank: dict[_Key, int] = {}
 
-    trace = Trace()
-    stats = trace.stats
-
-    def record(ev: TraceEvent) -> None:
-        if record_events:
-            trace.record(ev)
-
     link_bw = gpu.host_link_bandwidth
     link_lat = gpu.host_link_latency
     nic_bw = platform.node.nic_bandwidth
     nic_lat = platform.node.nic_latency
+    node_of = platform.node_of
+    gpus_per_node = platform.node.gpus_per_node
+    bpe = {p: bytes_per_element(p) for p in Precision}.__getitem__
+
+    # memoised pure perfmodel lookups (gpu and nb are fixed per run, so
+    # these are exact caches — identical floats, just not recomputed):
+    # another repro-profile-guided hot-loop saving, needs_conversion and
+    # kernel_time together were ~20% of ready-heap-loop samples
+    _kt_cache: dict[tuple[str, Precision], float] = {}
+
+    def kernel_time_cached(kind: str, prec: Precision) -> float:
+        key = (kind, prec)
+        t = _kt_cache.get(key)
+        if t is None:
+            t = _kt_cache[key] = kernel_time(gpu, kind, nb, prec)
+        return t
+
+    _conv_need: dict[tuple[Precision, Precision, str], bool] = {}
+
+    def needs_conversion_cached(src: Precision, dst: Precision, role: str) -> bool:
+        key = (src, dst, role)
+        v = _conv_need.get(key)
+        if v is None:
+            v = _conv_need[key] = needs_conversion(src, dst, role)
+        return v
+
+    _conv_time: dict[tuple[int, Precision, Precision], float] = {}
+
+    def conversion_time_cached(elements: int, src: Precision, dst: Precision) -> float:
+        key = (elements, src, dst)
+        t = _conv_time.get(key)
+        if t is None:
+            t = _conv_time[key] = conversion_time(gpu, elements, src, dst)
+        return t
 
     def _writeback(rank: int, key: _Key, nbytes: int, dirty: bool, now: float) -> None:
         """Account one eviction; flush to the host only when required.
@@ -197,7 +236,7 @@ def simulate(
         the host copy is actually missing or the entry is dirty; a clean
         entry the host already holds is dropped for free.
         """
-        node = platform.node_of(rank)
+        node = node_of(rank)
         stats.n_evictions += 1
         evictions_metric.inc()
         if key in host_ready[node] and not dirty:
@@ -219,7 +258,7 @@ def simulate(
         src_rank = origin_rank.get(key)
         if src_rank is None:
             raise KeyError(f"payload {key} has no origin (missing producer or host seed)")
-        src_node = platform.node_of(src_rank)
+        src_node = node_of(src_rank)
         # d2h at the origin (skipped if the origin's host already has it)
         if key not in host_ready[src_node]:
             data_t = gpu_ready[src_rank].get(key)
@@ -241,173 +280,145 @@ def simulate(
         host_ready[dest_node][key] = end
         stats.add_nic(key[3], nbytes)
         busy["nic"] += end - start
-        record(
-            TraceEvent(
-                platform.node.gpus_per_node * src_node, "nic", "SEND", start, end, key[3], nbytes
-            )
-        )
+        record(TraceEvent(gpus_per_node * src_node, "nic", "SEND", start, end, key[3], nbytes))
         return end
 
-    def _acquire(rank: int, inp: TaskInput, now: float, protect: set[_Key]) -> float:
+    def _acquire(
+        rank: int, key: _Key, nbytes: int, payload_prec: Precision, now: float, protect: set[_Key]
+    ) -> float:
         """Make one payload available on ``rank``'s GPU; return ready time."""
-        key: _Key = (inp.tile.i, inp.tile.j, inp.tile.version, inp.payload_precision)
-        nbytes = _payload_bytes(inp)
-        if key in caches[rank]:
-            caches[rank].touch(key)
+        cache = caches[rank]
+        if key in cache:
+            cache.touch(key)
             return gpu_ready[rank][key]
-        node = platform.node_of(rank)
+        node = node_of(rank)
         t_host = _stage_to_host(node, key, nbytes, now)
         start = max(h2d_free[rank], t_host)
         end = start + link_lat + nbytes / link_bw
         h2d_free[rank] = end
         gpu_ready[rank][key] = end
-        caches[rank].insert(key, nbytes, dirty=False)
-        for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
+        cache.insert(key, nbytes, dirty=False)
+        for ev_key, ev_bytes, ev_dirty in cache.evict_until_fits(protect):
             _writeback(rank, ev_key, ev_bytes, ev_dirty, now)
             gpu_ready[rank].pop(ev_key, None)
-        stats.add_h2d(inp.payload_precision, nbytes)
+        stats.add_h2d(payload_prec, nbytes)
         busy["h2d"] += end - start
-        record(TraceEvent(rank, "h2d", "LOAD", start, end, inp.payload_precision, nbytes))
+        record(TraceEvent(rank, "h2d", "LOAD", start, end, payload_prec, nbytes))
         return end
 
-    # seed version-0 tiles at their owner's host memory
-    for task in graph:
+    def seed_host(task: Task) -> None:
+        """Seed the task's version-0 inputs at its owner's host memory."""
         for inp in task.inputs:
             if inp.producer is None:
-                key: _Key = (inp.tile.i, inp.tile.j, inp.tile.version, inp.payload_precision)
-                node = platform.node_of(task.rank)
-                host_ready[node].setdefault(key, 0.0)
+                tile = inp.tile
+                key: _Key = (tile.i, tile.j, tile.version, inp.payload_precision)
+                host_ready[node_of(task.rank)].setdefault(key, 0.0)
                 origin_rank.setdefault(key, task.rank)
 
-    # -- policy-driven list scheduling ------------------------------------
-    # Heap comparator is the explicit triple (*policy.key, tid): the
-    # policy owns the first two fields (panel-first keeps the historical
-    # (ready, priority) pair bit-identically), task id pins the order of
-    # equal-key tasks so every policy is fully deterministic.  Only
-    # tasks whose predecessors are all scheduled enter the heap, so any
-    # pop order is a valid schedule; the recorded ready time still gates
-    # the task's start via its input arrival times.
-    sched_state = SchedState(
-        resident=lambda rank, key: key in caches[rank],
-        host_resident=lambda node, key: key in host_ready[node],
-    )
-    n = len(graph)
-    in_count = [len(graph.predecessors(t)) for t in range(n)]
-    task_end = [0.0] * n
-    task_start = [0.0] * n
-    task_ready = [0.0] * n
-    heap: list[tuple[float, float, int]] = []
-    for tid in range(n):
-        if in_count[tid] == 0:
-            heapq.heappush(heap, (*sched.key(graph.tasks[tid], 0.0, sched_state), tid))
+    def exec_task(task: Task, ready_t: float) -> tuple[float, float]:
+        """Run one ready task; returns its (start, end) compute interval."""
+        rank = task.rank
+        inputs = task.inputs
+        # one pass over the inputs derives every key/byte pair; the
+        # protect set and all staging probes reuse them
+        staged = []
+        protect: set[_Key] = set()
+        for inp in inputs:
+            tile = inp.tile
+            prec = inp.payload_precision
+            key = (tile.i, tile.j, tile.version, prec)
+            staged.append((inp, key, inp.elements * bpe(prec), prec))
+            protect.add(key)
+        out = task.output
+        out_key: _Key = (out.i, out.j, out.version, task.output_precision)
+        protect.add(out_key)
 
-    done = 0
-    with hot_region("sim.ready_heap_loop"):
-        while heap:
-            tid = heapq.heappop(heap)[-1]
-            ready_t = task_ready[tid]
-            task = graph.tasks[tid]
-            rank = task.rank
-            protect: set[_Key] = {
-                (i.tile.i, i.tile.j, i.tile.version, i.payload_precision) for i in task.inputs
-            }
-            out_key: _Key = (task.output.i, task.output.j, task.output.version, task.output_precision)
-            protect.add(out_key)
-
-            arrival = ready_t
-            # (site, src, dst, seconds) per conversion pass charged to this task
-            conversions: list[tuple[str, Precision, Precision, float]] = []
-            for inp in task.inputs:
-                arrival = max(arrival, _acquire(rank, inp, ready_t, protect))
-                # receiver-side conversion (TTC, or residual re-encode under STC)
-                if needs_conversion(inp.payload_precision, task.precision, inp.role):
-                    conversions.append((
-                        "ttc",
-                        inp.payload_precision,
-                        task.precision,
-                        conversion_time(gpu, inp.elements, inp.payload_precision, task.precision),
-                    ))
-            if task.sender_conversion is not None:
-                src, dst = task.sender_conversion
-                conversions.append(("stc", src, dst, conversion_time(gpu, nb * nb, src, dst)))
-            conv_seconds = sum(c[3] for c in conversions)
-            n_conv = len(conversions)
-
-            start = max(compute_free[rank], arrival)
-            exec_t = kernel_time(gpu, task.kind, nb, task.precision)
-            end = start + exec_t + conv_seconds
-            compute_free[rank] = end
-            task_start[tid] = start
-            task_end[tid] = end
-
-            conv_t = start
-            for site, src, dst, seconds in conversions:
-                record(
-                    TraceEvent(
-                        rank,
-                        "compute",
-                        "CONVERT",
-                        conv_t,
-                        conv_t + seconds,
-                        task.precision,
-                        site=site,
-                        src_precision=src,
-                        dst_precision=dst,
-                    )
+        task_prec = task.precision
+        arrival = ready_t
+        # (site, src, dst, seconds) per conversion pass charged to this task
+        conversions: list[tuple[str, Precision, Precision, float]] = []
+        for inp, key, nbytes, prec in staged:
+            t = _acquire(rank, key, nbytes, prec, ready_t, protect)
+            if t > arrival:
+                arrival = t
+            # receiver-side conversion (TTC, or residual re-encode under STC)
+            if needs_conversion_cached(prec, task_prec, inp.role):
+                conversions.append(
+                    ("ttc", prec, task_prec, conversion_time_cached(inp.elements, prec, task_prec))
                 )
-                conv_t += seconds
-                stats.add_conversion(site, seconds)
+        if task.sender_conversion is not None:
+            src, dst = task.sender_conversion
+            conversions.append(("stc", src, dst, conversion_time_cached(nb * nb, src, dst)))
+        conv_seconds = sum(c[3] for c in conversions)
+        n_conv = len(conversions)
+
+        start = max(compute_free[rank], arrival)
+        exec_t = kernel_time_cached(task.kind, task_prec)
+        end = start + exec_t + conv_seconds
+        compute_free[rank] = end
+
+        conv_t = start
+        for site, src, dst, seconds in conversions:
             record(
                 TraceEvent(
                     rank,
                     "compute",
-                    task.kind,
-                    start + conv_seconds,
-                    end,
-                    task.precision,
-                    0,
-                    task.flops,
+                    "CONVERT",
+                    conv_t,
+                    conv_t + seconds,
+                    task_prec,
+                    site=site,
+                    src_precision=src,
+                    dst_precision=dst,
                 )
             )
-            stats.add_flops(task.precision, task.flops)
-            stats.n_tasks += 1
-            busy["compute"] += end - start
-            if n_conv:
-                conversions_metric.inc(n_conv)
+            conv_t += seconds
+            stats.add_conversion(site, seconds)
+        record(
+            TraceEvent(rank, "compute", task.kind, start + conv_seconds, end, task_prec, 0, task.flops)
+        )
+        stats.add_flops(task_prec, task.flops)
+        stats.n_tasks += 1
+        busy["compute"] += end - start
+        if n_conv:
+            conversions_metric.inc(n_conv)
 
-            # output materialises on this GPU
-            out_bytes = nb * nb * bytes_per_element(task.output_precision)
-            gpu_ready[rank][out_key] = end
-            caches[rank].insert(out_key, out_bytes, dirty=True)
-            origin_rank[out_key] = rank
-            # STC payload copy (converted once here, broadcast in low precision)
-            if task.sender_conversion is not None:
-                _src, dst = task.sender_conversion
-                pay_key: _Key = (task.output.i, task.output.j, task.output.version, dst)
-                pay_bytes = nb * nb * bytes_per_element(dst)
-                gpu_ready[rank][pay_key] = end
-                caches[rank].insert(pay_key, pay_bytes, dirty=False)
-                origin_rank[pay_key] = rank
-            for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
-                _writeback(rank, ev_key, ev_bytes, ev_dirty, end)
-                gpu_ready[rank].pop(ev_key, None)
+        # output materialises on this GPU
+        out_bytes = nb * nb * bpe(task.output_precision)
+        gpu_ready[rank][out_key] = end
+        caches[rank].insert(out_key, out_bytes, dirty=True)
+        origin_rank[out_key] = rank
+        # STC payload copy (converted once here, broadcast in low precision)
+        if task.sender_conversion is not None:
+            _src, dst = task.sender_conversion
+            pay_key: _Key = (out.i, out.j, out.version, dst)
+            pay_bytes = nb * nb * bpe(dst)
+            gpu_ready[rank][pay_key] = end
+            caches[rank].insert(pay_key, pay_bytes, dirty=False)
+            origin_rank[pay_key] = rank
+        for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
+            _writeback(rank, ev_key, ev_bytes, ev_dirty, end)
+            gpu_ready[rank].pop(ev_key, None)
+        return start, end
 
-            for succ in graph.successors(tid):
-                in_count[succ] -= 1
-                if in_count[succ] == 0:
-                    succ_ready = max(
-                        (task_end[p] for p in graph.predecessors(succ)), default=0.0
-                    )
-                    task_ready[succ] = succ_ready
-                    heapq.heappush(
-                        heap,
-                        (*sched.key(graph.tasks[succ], succ_ready, sched_state), succ),
-                    )
-            done += 1
+    sched_state = SchedState(
+        resident=lambda rank, key: key in caches[rank],
+        host_resident=lambda node, key: key in host_ready[node],
+    )
+    return seed_host, exec_task, sched_state
 
-    if done != n:
-        raise RuntimeError(f"simulation deadlock: {done}/{n} tasks executed")
 
+def _finish(
+    sched: SchedulePolicy,
+    stats: RunStats,
+    trace: Trace,
+    busy: dict[str, float],
+    task_end: list[float],
+    task_start: list[float],
+    registry,
+    peak_live: int,
+) -> SimReport:
+    """Publish run telemetry and assemble the :class:`SimReport`."""
     makespan = max(task_end, default=0.0)
     stats.makespan = makespan
 
@@ -445,4 +456,248 @@ def simulate(
         task_end=task_end,
         task_start=task_start,
         policy=sched.name,
+        peak_live_tasks=peak_live,
     )
+
+
+@traced("sim.run")
+def simulate(
+    graph: TaskGraph,
+    platform: Platform,
+    nb: int,
+    *,
+    enforce_memory: bool = True,
+    record_events: bool = True,
+    policy: str | SchedulePolicy | None = None,
+) -> SimReport:
+    """Simulate ``graph`` on ``platform`` and return timing + counters.
+
+    ``nb`` is the tile edge used to price kernels and conversions (ragged
+    edge tiles are priced as full tiles — a ≤1/NT relative error).
+
+    ``policy`` picks the :class:`~repro.runtime.policies.SchedulePolicy`
+    that orders the ready heap (name or instance; default
+    ``panel-first``, bit-identical to the historical scheduler).
+    Policies reorder ready tasks only, so they change timing and data
+    motion but never which payloads a task consumes.
+
+    Telemetry: runs inside a ``sim.run`` span; eviction/conversion
+    counters tick live and per-engine busy time, byte totals, and the
+    makespan land in the :mod:`repro.obs` registry at completion.
+    """
+    sched = resolve_policy(policy)
+    sched.prepare(graph, platform, nb)
+    registry = get_registry()
+    evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
+    conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
+    busy: dict[str, float] = {"compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0}
+
+    trace = Trace()
+    stats = trace.stats
+    record = trace.record if record_events else (lambda ev: None)
+    seed_host, exec_task, sched_state = _build_engine(
+        platform, nb, enforce_memory, record, stats, busy, evictions_metric, conversions_metric
+    )
+
+    # seed version-0 tiles at their owner's host memory
+    for task in graph:
+        seed_host(task)
+
+    # -- policy-driven list scheduling ------------------------------------
+    # Heap comparator is the explicit triple (*policy.key, tid): the
+    # policy owns the first two fields (panel-first keeps the historical
+    # (ready, priority) pair bit-identically), task id pins the order of
+    # equal-key tasks so every policy is fully deterministic.  Only
+    # tasks whose predecessors are all scheduled enter the heap, so any
+    # pop order is a valid schedule; the recorded ready time still gates
+    # the task's start via its input arrival times.
+    n = len(graph)
+    preds, succs = graph.adjacency()
+    tasks = graph.tasks
+    in_count = [len(preds[t]) for t in range(n)]
+    task_end = [0.0] * n
+    task_start = [0.0] * n
+    task_ready = [0.0] * n
+    key_of = sched.key
+    heap: list[tuple[float, float, int]] = []
+    for tid in range(n):
+        if in_count[tid] == 0:
+            heapq.heappush(heap, (*key_of(tasks[tid], 0.0, sched_state), tid))
+
+    done = 0
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    with hot_region("sim.ready_heap_loop"):
+        while heap:
+            tid = heappop(heap)[-1]
+            start, end = exec_task(tasks[tid], task_ready[tid])
+            task_start[tid] = start
+            task_end[tid] = end
+
+            for succ in succs[tid]:
+                left = in_count[succ] - 1
+                in_count[succ] = left
+                if left == 0:
+                    succ_ready = 0.0
+                    for p in preds[succ]:
+                        t = task_end[p]
+                        if t > succ_ready:
+                            succ_ready = t
+                    task_ready[succ] = succ_ready
+                    heappush(heap, (*key_of(tasks[succ], succ_ready, sched_state), succ))
+            done += 1
+
+    if done != n:
+        raise RuntimeError(f"simulation deadlock: {done}/{n} tasks executed")
+
+    return _finish(sched, stats, trace, busy, task_end, task_start, registry, peak_live=n)
+
+
+@traced("sim.run")
+def simulate_stream(
+    source: Iterable[Task],
+    platform: Platform,
+    nb: int,
+    *,
+    lookahead: int = 100_000,
+    enforce_memory: bool = True,
+    record_events: bool = True,
+    policy: str | SchedulePolicy | None = None,
+) -> SimReport:
+    """Simulate a lazily-emitted task stream without materialising the DAG.
+
+    ``source`` yields :class:`Task` objects in a dependency-safe
+    (topological) emission order with dense tids — what
+    :func:`repro.runtime.dsl.unroll_stream` produces.  Tasks are pulled
+    into a :class:`TaskGraph` frontier until ``lookahead`` of them are
+    live (emitted but unexecuted), scheduled exactly like
+    :func:`simulate`, and retired as soon as they execute, so peak
+    memory tracks the window rather than the task count.  When the heap
+    drains while the window is still blocked, emission widens past
+    ``lookahead`` until a ready task appears (the window is a soft
+    target, never a correctness constraint).
+
+    Every pop order is a valid schedule; it matches the materialised
+    path exactly when each task is emitted before it becomes ready,
+    which for the k-major Cholesky emission holds once ``lookahead``
+    spans about two trailing-update sweeps (≈ ``nt²`` tasks —
+    :func:`repro.core.solver.simulate_cholesky` picks this
+    automatically).  Smaller windows stay correct but may schedule
+    slightly differently.
+
+    Policies that precompute over the whole graph
+    (``requires_full_graph``: critical-path, comm-aware-eft) are
+    rejected — they would need the very materialisation this path
+    avoids.
+    """
+    if lookahead < 1:
+        raise ValueError("lookahead must be positive")
+    sched = resolve_policy(policy)
+    if getattr(sched, "requires_full_graph", False):
+        raise ValueError(
+            f"policy {sched.name!r} precomputes over the full graph and cannot "
+            "be used with simulate_stream; use simulate() or a frontier-local "
+            "policy (panel-first, fifo)"
+        )
+    graph = TaskGraph()
+    sched.prepare(graph, platform, nb)
+    registry = get_registry()
+    evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
+    conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
+    busy: dict[str, float] = {"compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0}
+
+    trace = Trace()
+    stats = trace.stats
+    record = trace.record if record_events else (lambda ev: None)
+    seed_host, exec_task, sched_state = _build_engine(
+        platform, nb, enforce_memory, record, stats, busy, evictions_metric, conversions_metric
+    )
+
+    it = iter(source)
+    executed: list[bool] = []
+    in_count: list[int] = []
+    task_end: list[float] = []
+    task_start: list[float] = []
+    task_ready: list[float] = []
+    heap: list[tuple[float, float, int]] = []
+    key_of = sched.key
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+
+    live = 0
+    peak_live = 0
+    exhausted = False
+
+    def pull_one() -> bool:
+        """Emit the next task into the frontier; False once exhausted."""
+        nonlocal live, peak_live, exhausted
+        try:
+            task = next(it)
+        except StopIteration:
+            exhausted = True
+            return False
+        tid = graph.append(task)
+        seed_host(task)
+        task_end.append(0.0)
+        task_start.append(0.0)
+        task_ready.append(0.0)
+        executed.append(False)
+        pending = 0
+        ready_t = 0.0
+        for p in graph.predecessors(tid):
+            if executed[p]:
+                t = task_end[p]
+                if t > ready_t:
+                    ready_t = t
+            else:
+                pending += 1
+        in_count.append(pending)
+        if pending == 0:
+            task_ready[tid] = ready_t
+            heappush(heap, (*key_of(task, ready_t, sched_state), tid))
+        live += 1
+        if live > peak_live:
+            peak_live = live
+        return True
+
+    done = 0
+    with hot_region("sim.ready_heap_loop"):
+        while True:
+            while live < lookahead and not exhausted:
+                pull_one()
+            if not heap:
+                if exhausted:
+                    break
+                # frontier blocked inside the window: widen until a task
+                # becomes ready (or the stream runs dry)
+                while not heap and pull_one():
+                    pass
+                if not heap:
+                    break
+            tid = heappop(heap)[-1]
+            start, end = exec_task(graph.tasks[tid], task_ready[tid])
+            task_start[tid] = start
+            task_end[tid] = end
+            executed[tid] = True
+            for succ in graph.successors(tid):
+                left = in_count[succ] - 1
+                in_count[succ] = left
+                if left == 0:
+                    succ_ready = 0.0
+                    for p in graph.predecessors(succ):
+                        t = task_end[p]
+                        if t > succ_ready:
+                            succ_ready = t
+                    task_ready[succ] = succ_ready
+                    heappush(heap, (*key_of(graph.tasks[succ], succ_ready, sched_state), succ))
+            graph.retire(tid)
+            live -= 1
+            done += 1
+
+    if live != 0:
+        raise RuntimeError(
+            f"streaming simulation deadlock: {done} tasks executed, {live} live "
+            "(emission order is not topological?)"
+        )
+
+    return _finish(sched, stats, trace, busy, task_end, task_start, registry, peak_live=peak_live)

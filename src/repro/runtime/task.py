@@ -82,12 +82,30 @@ class Task:
 
 
 class TaskGraph:
-    """An immutable-after-finalize DAG of :class:`Task` objects."""
+    """An immutable-after-finalize DAG of :class:`Task` objects.
+
+    Two construction modes:
+
+    * **materialising** — :meth:`add` / :meth:`new_task` all tasks, then
+      :meth:`finalize` builds the adjacency in one pass;
+    * **streaming** — :meth:`append` tasks one at a time (adjacency is
+      wired incrementally, so the graph is usable as a growing frontier
+      while emission continues) and :meth:`retire` drops a task's heavy
+      payload once a consumer loop is done with it.  This is the
+      append-only frontier API the streaming simulator consumes: live
+      memory stays proportional to the emission window, not the DAG.
+
+    Both modes dedupe dependency edges: a task reading two tiles from
+    the same producer contributes one predecessor/successor edge, so
+    ``in_count`` bookkeeping and degree statistics count *tasks*, not
+    payloads.
+    """
 
     def __init__(self) -> None:
-        self.tasks: list[Task] = []
+        self.tasks: list[Task | None] = []
         self._succs: list[list[int]] | None = None
         self._preds: list[list[int]] | None = None
+        self._n_retired = 0
 
     # -- construction ----------------------------------------------------
     def add(self, task: Task) -> int:
@@ -104,16 +122,75 @@ class TaskGraph:
         self.add(task)
         return task
 
+    def append(self, task: Task) -> int:
+        """Streaming construction: add ``task`` and wire its edges now.
+
+        Unlike :meth:`add`, the adjacency is extended immediately (and
+        deduped), so :meth:`successors` / :meth:`predecessors` work on
+        the graph built so far while more tasks are still being emitted.
+        Producers must already be present (emission order must be
+        topological).  A graph started with ``append`` reports
+        ``finalized`` and rejects :meth:`add`; :meth:`finalize` is a
+        no-op seal.
+        """
+        if self._succs is None:
+            if self.tasks:
+                raise RuntimeError("cannot mix append() into a graph built with add()")
+            self._succs = []
+            self._preds = []
+        tid = task.tid
+        if tid != len(self.tasks):
+            raise ValueError(f"task ids must be dense: got {tid}, expected {len(self.tasks)}")
+        preds: list[int] = []
+        seen: set[int] = set()
+        for inp in task.inputs:
+            p = inp.producer
+            if p is None or p in seen:
+                continue
+            if not 0 <= p < tid:
+                raise ValueError(f"task {tid} references unknown or later producer {p}")
+            seen.add(p)
+            preds.append(p)
+        self.tasks.append(task)
+        self._succs.append([])
+        self._preds.append(preds)
+        for p in preds:
+            self._succs[p].append(tid)
+        return tid
+
+    def retire(self, tid: int) -> None:
+        """Release a consumed task's payload (streaming graphs).
+
+        Drops the :class:`Task` object and its outgoing edge list; the
+        integer predecessor lists stay (successors still need them for
+        ready-time bookkeeping).  Whole-graph accessors
+        (``total_flops``, iteration, …) are off-limits after the first
+        retire — this is the tail end of the frontier API, meant for a
+        consumer that has already folded the task into its own state.
+        """
+        self.tasks[tid] = None
+        self._succs[tid] = []  # type: ignore[index]
+        self._n_retired += 1
+
+    @property
+    def n_retired(self) -> int:
+        return self._n_retired
+
     def finalize(self) -> None:
-        """Freeze the graph and build predecessor/successor adjacency."""
+        """Freeze the graph and build predecessor/successor adjacency.
+
+        Parallel edges collapse: a consumer reading several tiles from
+        one producer yields a single dependency edge (order preserved).
+        """
         if self._succs is not None:
             return
         n = len(self.tasks)
         succs: list[list[int]] = [[] for _ in range(n)]
         preds: list[list[int]] = [[] for _ in range(n)]
         for task in self.tasks:
+            seen: set[int] = set()
             for inp in task.inputs:
-                if inp.producer is None:
+                if inp.producer is None or inp.producer in seen:
                     continue
                 if not 0 <= inp.producer < n:
                     raise ValueError(f"task {task.tid} references unknown producer {inp.producer}")
@@ -121,6 +198,7 @@ class TaskGraph:
                     raise ValueError(
                         f"task {task.tid} depends on later task {inp.producer}: not a DAG"
                     )
+                seen.add(inp.producer)
                 succs[inp.producer].append(task.tid)
                 preds[task.tid].append(inp.producer)
         self._succs = succs
@@ -142,6 +220,15 @@ class TaskGraph:
     def predecessors(self, tid: int) -> Sequence[int]:
         self._require_finalized()
         return self._preds[tid]  # type: ignore[index]
+
+    def adjacency(self) -> tuple[list[list[int]], list[list[int]]]:
+        """``(preds, succs)`` lists, indexed by tid — for hot loops.
+
+        Direct list access avoids a method call per edge in the
+        simulator's ready-heap loop; callers must not mutate.
+        """
+        self._require_finalized()
+        return self._preds, self._succs  # type: ignore[return-value]
 
     def __len__(self) -> int:
         return len(self.tasks)

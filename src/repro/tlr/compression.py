@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..precision.emulate import quantize
+from ..precision.emulate import quantize_batch
 from ..precision.formats import Precision
 
 __all__ = ["LowRankTile", "compress", "recompress", "add_lowrank"]
@@ -61,8 +61,12 @@ class LowRankTile:
         return LowRankTile(alpha * self.u, self.v)
 
     def quantized(self, precision: Precision) -> "LowRankTile":
-        """Mixed-precision TLR: round both factors to ``precision``."""
-        return LowRankTile(quantize(self.u, precision), quantize(self.v, precision))
+        """Mixed-precision TLR: round both factors to ``precision``.
+
+        Both factors go through one batched quantisation pass.
+        """
+        u, v = quantize_batch([self.u, self.v], precision)
+        return LowRankTile(u, v)
 
 
 def compress(tile: np.ndarray, tol: float, *, max_rank: int | None = None) -> LowRankTile:

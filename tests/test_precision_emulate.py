@@ -6,7 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.precision.emulate import quantize, quantize_tile, storage_dtype, truncate_mantissa
+from repro.precision.emulate import (
+    quantize,
+    quantize_batch,
+    quantize_tile,
+    storage_dtype,
+    truncate_mantissa,
+)
 from repro.precision.formats import Precision
 
 # normal-range floats (mantissa truncation on subnormals loses relative
@@ -52,6 +58,111 @@ class TestTruncateMantissa:
         twice = truncate_mantissa(once, bits)
         both_nan = np.isnan(once) & np.isnan(twice)
         assert np.array_equal(once[~both_nan], twice[~both_nan])
+
+
+class TestTruncateMantissaNonFinite:
+    """Regression battery for the non-finite corruption bug.
+
+    The rounding add used to carry a low-payload NaN into ±inf and wrap
+    the all-ones bit pattern (a negative NaN) around the uint32 range
+    into a denormal.  Non-finite lanes must now pass through bit-exactly.
+    """
+
+    def test_low_payload_nan_stays_nan(self):
+        # 0x7F800001: quiet bit clear, payload 1 — the rounding add used
+        # to overflow the mantissa field and turn this into +inf
+        x = np.array([0x7F800001], dtype=np.uint32).view(np.float32)
+        for bits in (8, 11, 16, 23):
+            out = truncate_mantissa(x, bits)
+            assert out.view(np.uint32)[0] == 0x7F800001
+
+    def test_all_ones_pattern_stays_nan(self):
+        # 0xFFFFFFFF: negative NaN with full payload — the rounding add
+        # used to wrap the uint32 and produce a tiny denormal
+        x = np.array([0xFFFFFFFF], dtype=np.uint32).view(np.float32)
+        for bits in (8, 11, 16, 23):
+            out = truncate_mantissa(x, bits)
+            assert out.view(np.uint32)[0] == 0xFFFFFFFF
+
+    def test_infinities_pass_through(self):
+        x = np.array([np.inf, -np.inf], dtype=np.float32)
+        out = truncate_mantissa(x, 8)
+        assert out[0] == np.inf and out[1] == -np.inf
+
+    def test_mixed_lanes_round_finite_only(self):
+        x = np.array([1.0 + 2.0**-12, np.nan, np.inf, -3.0], dtype=np.float32)
+        out = truncate_mantissa(x, 11)
+        assert out[0] == np.float32(1.0)
+        assert np.isnan(out[1]) and np.isinf(out[2]) and out[3] == np.float32(-3.0)
+
+    @given(
+        hnp.arrays(np.uint32, 32, elements=st.integers(0, 2**32 - 1)),
+        st.integers(1, 23),
+    )
+    @settings(max_examples=120)
+    def test_bit_pattern_classes_preserved(self, raw, bits):
+        """Any float32 bit pattern in → same IEEE class out.
+
+        Non-finite lanes are bit-exact; finite lanes either stay finite
+        or saturate to ±inf of the same sign (round past FLT_MAX).
+        """
+        x = raw.view(np.float32)
+        out = truncate_mantissa(x, bits)
+        out_bits = out.view(np.uint32)
+        for xin, bin_, bout in zip(x, raw, out_bits):
+            if not np.isfinite(xin):
+                assert bout == bin_  # NaN payloads and infinities untouched
+            else:
+                yv = np.array([bout], dtype=np.uint32).view(np.float32)[0]
+                if np.isinf(yv):
+                    assert np.signbit(yv) == np.signbit(xin)
+                else:
+                    assert np.isfinite(yv)
+
+    @given(
+        hnp.arrays(np.uint32, 16, elements=st.integers(0, 2**32 - 1)),
+        st.integers(1, 23),
+    )
+    @settings(max_examples=60)
+    def test_finite_lanes_match_pure_finite_call(self, raw, bits):
+        """Non-finite lanes must not perturb the rounding of finite ones."""
+        x = raw.view(np.float32)
+        out = truncate_mantissa(x, bits)
+        finite = np.isfinite(x)
+        expected = truncate_mantissa(np.where(finite, x, np.float32(0.0)), bits)
+        assert np.array_equal(
+            out[finite].view(np.uint32), expected[finite].view(np.uint32)
+        )
+
+
+class TestQuantizeBatch:
+    @pytest.mark.parametrize("prec", list(Precision))
+    def test_matches_per_tile_quantize(self, prec, rng):
+        tiles = [
+            rng.standard_normal((4, 4)),
+            rng.standard_normal((7, 3)),
+            rng.uniform(-1e5, 1e5, size=(1, 9)),  # exercises FP16 saturation
+            np.zeros((2, 2)),
+        ]
+        batched = quantize_batch(tiles, prec)
+        for t, b in zip(tiles, batched):
+            assert b.shape == t.shape and b.dtype == np.float64
+            assert np.array_equal(b, quantize(t, prec), equal_nan=True)
+
+    def test_empty_list(self):
+        assert quantize_batch([], Precision.FP16) == []
+
+    def test_fp64_passthrough_values(self, rng):
+        tiles = [rng.standard_normal((3, 3))]
+        out = quantize_batch(tiles, Precision.FP64)
+        assert np.array_equal(out[0], tiles[0])
+
+    def test_ragged_and_empty_tiles(self, rng):
+        tiles = [rng.standard_normal((5,)), np.empty((0, 4)), rng.standard_normal((2, 2, 2))]
+        out = quantize_batch(tiles, Precision.TF32)
+        assert [o.shape for o in out] == [(5,), (0, 4), (2, 2, 2)]
+        for t, b in zip(tiles, out):
+            assert np.array_equal(b, quantize(t, Precision.TF32))
 
 
 class TestQuantize:

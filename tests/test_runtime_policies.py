@@ -271,3 +271,54 @@ class TestDistributedPolicyOrder:
             dag.graph, tiled_96, grid.size, timeout=60.0, policy="critical-path"
         )
         assert np.array_equal(dist.lower_dense(), seq.lower_dense())
+
+
+class TestNullStateThreading:
+    """Regression battery for ``SchedulePolicy.key`` called without a
+    ``SchedState``: both ``policy_topological_order`` and the parallel
+    executor now thread the explicit null state (nothing resident), so
+    residency-aware policies get a real state object instead of crashing
+    or silently receiving ``None``."""
+
+    def test_null_state_reports_nothing_resident(self):
+        from repro.runtime.policies import SchedState
+
+        state = SchedState.null()
+        assert not state.resident(0, TileRef(0, 0, 1))
+        assert not state.host_resident(0, TileRef(0, 0, 1))
+
+    @pytest.mark.parametrize("pol", list(POLICY_NAMES))
+    def test_topological_order_valid_per_policy(self, pol):
+        from repro.core import build_cholesky_dag, two_precision_map as tpm
+
+        dag = build_cholesky_dag(96 * 4, 96, tpm(4, Precision.FP16),
+                                 grid=_ref_platform().process_grid())
+        order = policy_topological_order(dag.graph, pol, nb=96,
+                                         platform=_ref_platform())
+        assert sorted(order) == list(range(len(dag.graph)))
+        pos = {tid: k for k, tid in enumerate(order)}
+        for tid in range(len(dag.graph)):
+            for p in dag.graph.predecessors(tid):
+                assert pos[p] < pos[tid], f"{pol}: {p} must precede {tid}"
+
+    @pytest.mark.parametrize("pol", list(POLICY_NAMES))
+    def test_topological_order_deterministic_per_policy(self, pol):
+        from repro.core import build_cholesky_dag, uniform_map
+
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64))
+        a = policy_topological_order(dag.graph, pol, nb=16)
+        b = policy_topological_order(dag.graph, pol, nb=16)
+        assert a == b
+
+    @pytest.mark.parametrize("pol", list(POLICY_NAMES))
+    def test_parallel_executor_bit_identical_per_policy(self, pol, tiled_96):
+        import numpy as np
+
+        from repro.core import build_cholesky_dag, uniform_map
+        from repro.runtime import execute_numeric
+        from repro.runtime.parallel_executor import execute_numeric_parallel
+
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64))
+        seq = execute_numeric(dag.graph, tiled_96)
+        par = execute_numeric_parallel(dag.graph, tiled_96, n_threads=3, policy=pol)
+        assert np.array_equal(par.lower_dense(), seq.lower_dense())

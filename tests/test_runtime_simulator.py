@@ -193,3 +193,79 @@ class TestMultiGPU:
     def test_gflops_property(self):
         rep = _run(nt=8)
         assert rep.gflops == pytest.approx(rep.stats.total_flops / rep.makespan / 1e9)
+
+
+class TestStreamingSimulation:
+    """simulate_stream: lazy k-major emission ≡ the materialising path."""
+
+    @pytest.mark.parametrize("prec", [Precision.FP64, Precision.FP16])
+    @pytest.mark.parametrize("n_gpus,n_nodes", [(1, 1), (2, 2)])
+    def test_stream_matches_materialize(self, prec, n_gpus, n_nodes):
+        import hashlib
+
+        def _hash(trace):
+            tuples = sorted(
+                (e.rank, e.engine, e.kind, e.t_start, e.t_end,
+                 e.precision, e.bytes, e.flops, e.site)
+                for e in trace.events
+            )
+            return hashlib.sha256(repr(tuples).encode()).hexdigest()
+
+        plat = _platform(n_gpus=n_gpus, n_nodes=n_nodes)
+        base = _run(nt=10, prec=prec, platform=plat)
+        stream = _run(nt=10, prec=prec, platform=plat, stream=True)
+        assert stream.makespan == base.makespan
+        assert stream.stats.to_dict() == base.stats.to_dict()
+        assert _hash(stream.trace) == _hash(base.trace)
+
+    def test_stream_matches_materialize_fifo(self):
+        base = _run(nt=8, policy="fifo")
+        stream = _run(nt=8, policy="fifo", stream=True)
+        assert stream.makespan == base.makespan
+
+    def test_small_lookahead_completes_validly(self):
+        """A tight emission window must still drain the whole DAG; the
+        schedule may differ (fewer ready choices) but stays feasible."""
+        nt = 12
+        expected = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) // 6
+        rep = _run(nt=nt, prec=Precision.FP16, stream=True, lookahead=32)
+        assert rep.stats.n_tasks == expected
+        assert rep.makespan > 0.0
+        assert rep.peak_live_tasks < expected
+
+    def test_peak_live_tasks_bounded_by_window(self):
+        rep = _run(nt=16, stream=True, lookahead=256)
+        n = rep.stats.n_tasks
+        assert 0 < rep.peak_live_tasks < n
+        # the window is a soft target (it widens when the heap drains),
+        # but it must stay far below the full task list
+        assert rep.peak_live_tasks <= n // 2
+
+    def test_materialized_report_counts_all_tasks_live(self):
+        rep = _run(nt=6)
+        assert rep.peak_live_tasks == rep.stats.n_tasks
+
+    @pytest.mark.parametrize("policy", ["critical-path", "comm-aware-eft"])
+    def test_full_graph_policies_rejected(self, policy):
+        with pytest.raises(ValueError, match="full graph"):
+            _run(nt=6, stream=True, policy=policy)
+
+    def test_stream_never_materializes_task_list(self):
+        """The streaming path must retire tasks as they finish: the
+        graph it builds internally keeps no more Task objects live than
+        the emission window at any point (checked via peak_live_tasks
+        and the retire counter reaching n)."""
+        from repro.core import stream_cholesky_tasks
+        from repro.core.precision_map import two_precision_map
+        from repro.runtime.simulator import simulate_stream
+
+        nt, nb = 12, 256
+        kmap = two_precision_map(nt, Precision.FP16)
+        plat = _platform()
+        source = stream_cholesky_tasks(
+            nt * nb, nb, kmap, grid=plat.process_grid())
+        rep = simulate_stream(source, plat, nb, lookahead=64,
+                              record_events=False)
+        expected = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) // 6
+        assert rep.stats.n_tasks == expected
+        assert rep.peak_live_tasks < expected // 2

@@ -1,9 +1,11 @@
 """Unit tests for the task graph and the PTG DSL."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.precision import Precision
-from repro.runtime.dsl import TaskClassSpec, TaskInstance, unroll
+from repro.runtime.dsl import StreamOrderError, TaskClassSpec, TaskInstance, unroll, unroll_stream
 from repro.runtime.task import Task, TaskGraph, TaskInput, TileRef
 
 
@@ -92,6 +94,108 @@ class TestTaskGraph:
         assert g.critical_path_length(lambda t: 2.0) == 6.0
 
 
+class TestFinalizeDedupe:
+    def test_duplicate_producer_reads_collapse_to_one_edge(self):
+        """Regression: two reads from one producer used to double the edge."""
+        g = TaskGraph()
+        g.add(_task(0))
+        g.add(_task(1, inputs=[_inp(0, i=0), _inp(0, i=1)]))
+        g.finalize()
+        assert g.successors(0) == [1]
+        assert g.predecessors(1) == [0]
+        # degree-sensitive consumers (in_count draining, critical path)
+        # must see one dependency, not two
+        assert g.critical_path_length(lambda t: 1.0) == 2.0
+
+    def test_dedupe_preserves_first_seen_order(self):
+        g = TaskGraph()
+        g.add(_task(0))
+        g.add(_task(1))
+        g.add(_task(2, inputs=[_inp(1), _inp(0), _inp(1)]))
+        g.finalize()
+        assert g.predecessors(2) == [1, 0]
+
+    def test_simulator_drains_deduped_graph(self):
+        """A duplicate-producer graph must simulate to completion with
+        task-level (not payload-level) dependency accounting."""
+        from repro.perfmodel.gpus import V100
+        from repro.runtime.platform import Platform
+        from repro.runtime.simulator import simulate
+
+        g = TaskGraph()
+        g.add(_task(0, kind="POTRF"))
+        g.add(_task(1, kind="SYRK", inputs=[_inp(0), _inp(0)]))
+        g.finalize()
+        assert g.predecessors(1) == [0]
+        rep = simulate(g, Platform.single_gpu(V100), 4, record_events=False)
+        assert rep.stats.n_tasks == 2
+
+
+class TestAppendFrontier:
+    def test_append_matches_add_finalize(self):
+        tasks = [
+            _task(0),
+            _task(1, inputs=[_inp(0)]),
+            _task(2, inputs=[_inp(0), _inp(1)]),
+            _task(3, inputs=[_inp(2), _inp(2)]),  # duplicate producer read
+        ]
+        g_add = TaskGraph()
+        for t in tasks:
+            g_add.add(t)
+        g_add.finalize()
+        g_app = TaskGraph()
+        for t in tasks:
+            g_app.append(t)
+        assert g_app.finalized
+        for tid in range(len(tasks)):
+            assert list(g_app.successors(tid)) == list(g_add.successors(tid))
+            assert list(g_app.predecessors(tid)) == list(g_add.predecessors(tid))
+
+    def test_adjacency_usable_mid_stream(self):
+        g = TaskGraph()
+        g.append(_task(0))
+        g.append(_task(1, inputs=[_inp(0)]))
+        assert g.successors(0) == [1]  # before emission is finished
+
+    def test_append_rejects_forward_producer(self):
+        g = TaskGraph()
+        g.append(_task(0))
+        with pytest.raises(ValueError, match="unknown or later producer"):
+            g.append(_task(1, inputs=[_inp(5)]))
+
+    def test_append_rejects_sparse_ids(self):
+        g = TaskGraph()
+        g.append(_task(0))
+        with pytest.raises(ValueError, match="dense"):
+            g.append(_task(2))
+
+    def test_mixing_modes_rejected(self):
+        g = TaskGraph()
+        g.add(_task(0))
+        with pytest.raises(RuntimeError, match="mix"):
+            g.append(_task(1))
+        g2 = TaskGraph()
+        g2.append(_task(0))
+        with pytest.raises(RuntimeError, match="finalized"):
+            g2.add(_task(1))
+
+    def test_finalize_is_noop_seal(self):
+        g = TaskGraph()
+        g.append(_task(0))
+        g.finalize()
+        assert g.successors(0) == []
+
+    def test_retire_drops_payload_keeps_preds(self):
+        g = TaskGraph()
+        g.append(_task(0))
+        g.append(_task(1, inputs=[_inp(0)]))
+        g.retire(0)
+        assert g.tasks[0] is None
+        assert g.n_retired == 1
+        assert g.successors(0) == []
+        assert g.predecessors(1) == [0]  # successors still need ready bookkeeping
+
+
 def _mk_instance(name, params, reads, rank=0):
     return TaskInstance(
         cls=name,
@@ -171,3 +275,128 @@ class TestDSL:
         )
         graph = unroll([spec])
         assert graph.tasks[0].inputs[0].producer is None
+
+
+# -- streamed unroll ≡ materialising baseline --------------------------------
+
+def _topo_ptg(pred_sets):
+    """One task class over a random DAG whose emission order (ascending
+    task index) is topological: task ``i`` reads from ``pred_sets[i]``,
+    every predecessor < i, plus one host tile so sources have inputs."""
+
+    def inst(params):
+        (i,) = params
+        reads = [(None, TileRef(i, i, 0), Precision.FP64, Precision.FP64, 4, "inout")]
+        reads += [
+            (("T", (p,)), TileRef(p, p, 1), Precision.FP64, Precision.FP64, 4, "in")
+            for p in sorted(pred_sets[i])
+        ]
+        return _mk_instance("T", params, reads)
+
+    return TaskClassSpec("T", lambda: [(i,) for i in range(len(pred_sets))], inst)
+
+
+def _assert_graphs_identical(a, b):
+    assert len(a) == len(b)
+    for ta, tb in zip(a.tasks, b.tasks):
+        assert ta == tb  # dataclass equality: tid, kind, params, inputs, …
+    for tid in range(len(a)):
+        assert list(a.predecessors(tid)) == list(b.predecessors(tid))
+        assert list(a.successors(tid)) == list(b.successors(tid))
+    assert a.topological_order() == b.topological_order()
+
+
+@st.composite
+def _random_dag(draw):
+    n = draw(st.integers(1, 24))
+    preds = []
+    for i in range(n):
+        if i == 0:
+            preds.append(set())
+        else:
+            preds.append(set(draw(st.lists(st.integers(0, i - 1), max_size=4))))
+    return preds
+
+
+class TestStreamedUnroll:
+    @given(_random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_stream_equals_materialize_on_topological_emission(self, pred_sets):
+        """For a topologically-emitted PTG the streamed build and the
+        Kahn materialising build produce bit-identical graphs."""
+        streamed = unroll([_topo_ptg(pred_sets)], stream=True)
+        baseline = unroll([_topo_ptg(pred_sets)])
+        _assert_graphs_identical(streamed, baseline)
+
+    @given(_random_dag())
+    @settings(max_examples=30, deadline=None)
+    def test_unroll_stream_generator_matches_materialized_tasks(self, pred_sets):
+        tasks = list(unroll_stream([_topo_ptg(pred_sets)]))
+        baseline = unroll([_topo_ptg(pred_sets)])
+        assert [t.tid for t in tasks] == list(range(len(baseline)))
+        assert tasks == list(baseline.tasks)
+
+    def test_cholesky_stream_equals_materialize(self):
+        """The k-major Cholesky PTG streams to the same graph the
+        class-major PTG materialises to (same canonical task set)."""
+        from repro.core import build_cholesky_dag, cholesky_task_count, two_precision_map
+
+        n, nb = 8 * 64, 64
+        kmap = two_precision_map(8, Precision.FP16)
+        base = build_cholesky_dag(n, nb, kmap).graph
+        stream = build_cholesky_dag(n, nb, kmap, stream=True).graph
+        assert len(base) == len(stream) == cholesky_task_count(8)
+
+        def canon(g):
+            by_key = {}
+            key_of = {t.tid: (t.kind, t.params) for t in g.tasks}
+            for t in g.tasks:
+                by_key[(t.kind, t.params)] = (
+                    t.rank, t.precision, t.flops, t.output, t.output_precision,
+                    t.priority, t.sender_conversion,
+                    [
+                        (None if i.producer is None else key_of[i.producer],
+                         i.tile, i.payload_precision, i.storage_precision,
+                         i.elements, i.role)
+                        for i in t.inputs
+                    ],
+                )
+            return by_key
+
+        assert canon(base) == canon(stream)
+
+    def test_forward_reference_falls_back_to_kahn(self):
+        """Cross-class forward reference: unroll(stream=True) silently
+        falls back to the materialising path and matches unroll()."""
+        consumer = TaskClassSpec(
+            "B",
+            lambda: [(0,)],
+            lambda p: _mk_instance(
+                "B", p,
+                [(("A", (0,)), TileRef(0, 0, 1), Precision.FP64, Precision.FP64, 4, "in")],
+            ),
+        )
+        producer = TaskClassSpec("A", lambda: [(0,)], lambda p: _mk_instance("A", p, []))
+        streamed = unroll([consumer, producer], stream=True)
+        baseline = unroll([consumer, producer])
+        _assert_graphs_identical(streamed, baseline)
+
+    def test_unroll_stream_raises_on_forward_reference(self):
+        consumer = TaskClassSpec(
+            "B",
+            lambda: [(0,)],
+            lambda p: _mk_instance(
+                "B", p,
+                [(("A", (0,)), TileRef(0, 0, 1), Precision.FP64, Precision.FP64, 4, "in")],
+            ),
+        )
+        producer = TaskClassSpec("A", lambda: [(0,)], lambda p: _mk_instance("A", p, []))
+        with pytest.raises(StreamOrderError):
+            list(unroll_stream([consumer, producer]))
+        # StreamOrderError is a ValueError so existing catch-alls still work
+        assert issubclass(StreamOrderError, ValueError)
+
+    def test_unroll_stream_duplicate_instance_rejected(self):
+        dup = TaskClassSpec("A", lambda: [(0,), (0,)], lambda p: _mk_instance("A", p, []))
+        with pytest.raises(ValueError, match="duplicate"):
+            list(unroll_stream([dup]))
