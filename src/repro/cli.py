@@ -98,6 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="panel-first", choices=list(POLICY_NAMES),
                    help="scheduling policy for the ready heap "
                         "(default: panel-first; see docs/SCHEDULING.md)")
+    p.add_argument("--host-memory-gb", type=float, default=256.0,
+                   help="host DRAM capacity per node in GB; tiles evicted "
+                        "beyond this spill to the simulated disk tier "
+                        "(default: 256)")
+    p.add_argument("--schedule-out", default=None, metavar="PATH",
+                   help="export the committed task order as a replayable "
+                        "static schedule (.json, or .npz for compact binary)")
+    p.add_argument("--replay", default=None, metavar="PATH",
+                   help="replay a schedule exported with --schedule-out "
+                        "instead of running a policy (bit-identical, no "
+                        "ready-heap work)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Perfetto/Chrome trace JSON with counter tracks")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -134,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lookahead", type=int, default=None,
                    help="emission window for --mode stream "
                         "(default: max(4096, nt^2 + 4*nt))")
+    p.add_argument("--host-memory-gb", type=float, default=256.0,
+                   help="host DRAM capacity per node in GB (default: 256)")
+    p.add_argument("--record-events", action="store_true",
+                   help="record the full event trace; note this voids the "
+                        "O(window) memory bound of --mode stream (the trace "
+                        "grows O(n_tasks)) — a warning is printed there")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the BENCH run-summary JSON (throughput + "
                         "peak RSS floors) for repro compare / history")
@@ -270,6 +287,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="policy to include; repeatable (default: all policies)")
     p.add_argument("--baseline", default="panel-first", choices=list(POLICY_NAMES),
                    help="policy the others are diffed against (default: panel-first)")
+    p.add_argument("--host-memory-gb", type=float, default=256.0,
+                   help="host DRAM capacity per node in GB; shrink it to "
+                        "surface eviction/spill traffic differences "
+                        "(default: 256)")
+    p.add_argument("--gpu-memory-gb", type=float, default=None,
+                   help="override device memory per GPU in GB (capacity-"
+                        "constrained out-of-core studies)")
+    p.add_argument("--replay-check", action="store_true",
+                   help="also export the baseline's schedule and append a "
+                        "replay:<baseline> row (must be bit-identical)")
     p.add_argument("--fail-on-regress", action="store_true",
                    help="exit non-zero when a policy regresses beyond threshold "
                         "against the baseline")
@@ -421,7 +448,7 @@ def _cmd_simulate(args) -> int:
     from .runtime import Platform
 
     gpu = GPU_BY_NAME[args.gpu]
-    node = NodeSpec("cli", gpu, args.gpus, 256e9, 25e9, 1.5e-6)
+    node = NodeSpec("cli", gpu, args.gpus, args.host_memory_gb * 1e9, 25e9, 1.5e-6)
     platform = Platform(node=node, n_nodes=args.nodes)
     nt = -(-args.n // args.nb)
     kmap = {
@@ -435,8 +462,10 @@ def _cmd_simulate(args) -> int:
         "stc": ConversionStrategy.STC,
         "ttc": ConversionStrategy.TTC,
     }[args.strategy]
-    # events are needed whenever a trace/CSV export was requested
-    record_events = bool(args.trace_out or args.csv_out)
+    # events are needed whenever a trace/CSV export was requested; a
+    # schedule export wants them too so the trace hash rides along for
+    # replay verification
+    record_events = bool(args.trace_out or args.csv_out or args.schedule_out)
     profiler = None
     with contextlib.ExitStack() as stack:
         if args.events_out:
@@ -445,8 +474,19 @@ def _cmd_simulate(args) -> int:
             from .obs.profile import SamplingProfiler
 
             profiler = stack.enter_context(SamplingProfiler())
-        rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
-                                record_events=record_events, policy=args.policy)
+        if args.replay:
+            from .core import replay_cholesky
+            from .runtime import StaticSchedule
+
+            schedule = StaticSchedule.load(args.replay)
+            rep = replay_cholesky(args.n, args.nb, kmap, platform,
+                                  schedule, strategy=strategy,
+                                  record_events=record_events)
+        else:
+            rep = simulate_cholesky(args.n, args.nb, kmap, platform,
+                                    strategy=strategy,
+                                    record_events=record_events,
+                                    policy=args.policy)
 
     print(f"{args.config} on {args.nodes}x{args.gpus}x{args.gpu} "
           f"(n={args.n}, nb={args.nb}, {args.strategy.upper()}, "
@@ -459,6 +499,31 @@ def _cmd_simulate(args) -> int:
     print(f"  conversions {d['n_conversions']} "
           f"({d['conversion_seconds'] * 1e3:.1f} ms)")
     print(f"  tasks      {d['n_tasks']}  evictions {d['n_evictions']}")
+    if d.get("n_host_evictions") or d.get("n_spills"):
+        print(f"  host evictions {d['n_host_evictions']}  spills {d['n_spills']}  "
+              f"disk r/w {d['disk_read_bytes'] / 1e9:.2f}/"
+              f"{d['disk_write_bytes'] / 1e9:.2f} GB")
+
+    if args.schedule_out:
+        from .runtime import StaticSchedule
+
+        StaticSchedule.from_report(
+            rep, nb=args.nb, n=args.n, platform=platform,
+        ).save(args.schedule_out)
+        print(f"  schedule → {args.schedule_out} ({rep.stats.n_tasks} tasks)")
+    if args.replay:
+        mismatch = []
+        if schedule.makespan and abs(schedule.makespan - rep.makespan) > 0.0:
+            mismatch.append("makespan")
+        if (schedule.trace_hash and record_events
+                and schedule.trace_hash != rep.trace.content_hash()):
+            mismatch.append("trace hash")
+        if mismatch:
+            print(f"simulate: replay diverged from exported schedule "
+                  f"({', '.join(mismatch)})", file=sys.stderr)
+            return 1
+        print(f"  replay of {args.replay} verified "
+              f"(policy {schedule.policy}, bit-identical)")
 
     if args.trace_out:
         # fault/retry obs events (if captured) ride along as instants
@@ -532,7 +597,7 @@ def _cmd_simbench(args) -> int:
     from .runtime.simulator import simulate
 
     gpu = GPU_BY_NAME[args.gpu]
-    node = NodeSpec("cli", gpu, args.gpus, 256e9, 25e9, 1.5e-6)
+    node = NodeSpec("cli", gpu, args.gpus, args.host_memory_gb * 1e9, 25e9, 1.5e-6)
     platform = Platform(node=node, n_nodes=args.nodes)
     nt = args.nt
     n = nt * args.nb
@@ -548,12 +613,20 @@ def _cmd_simbench(args) -> int:
         "ttc": ConversionStrategy.TTC,
     }[args.strategy]
 
+    record_events = bool(args.record_events)
     t0 = time.perf_counter()
     if args.mode == "stream":
+        if record_events:
+            # the O(window) live-memory bound covers Task objects only;
+            # a recorded Trace still accumulates O(n_tasks) events
+            print("simbench: warning: --record-events voids the O(window) "
+                  "memory bound of --mode stream — the event trace grows "
+                  "with every task (see docs/SCHEDULING.md)",
+                  file=sys.stderr)
         # emission is interleaved with scheduling: one timed region
         rep = simulate_cholesky(
             n, args.nb, kmap, platform, strategy=strategy,
-            record_events=False, policy=args.policy,
+            record_events=record_events, policy=args.policy,
             stream=True, lookahead=args.lookahead,
         )
         t_build_done = t0
@@ -563,7 +636,7 @@ def _cmd_simbench(args) -> int:
         )
         t_build_done = time.perf_counter()
         rep = simulate(dag.graph, platform, args.nb,
-                       record_events=False, policy=args.policy)
+                       record_events=record_events, policy=args.policy)
     t1 = time.perf_counter()
 
     wall = t1 - t0
@@ -914,7 +987,11 @@ def _cmd_schedule_compare(args) -> int:
         policies.insert(0, args.baseline)
 
     gpu = GPU_BY_NAME[args.gpu]
-    node = NodeSpec("cli", gpu, args.gpus, 256e9, 25e9, 1.5e-6)
+    if args.gpu_memory_gb is not None:
+        from dataclasses import replace as _dc_replace
+
+        gpu = _dc_replace(gpu, memory_bytes=args.gpu_memory_gb * 1e9)
+    node = NodeSpec("cli", gpu, args.gpus, args.host_memory_gb * 1e9, 25e9, 1.5e-6)
     platform = Platform(node=node, n_nodes=args.nodes)
     nt = -(-args.n // args.nb)
     kmap = {
@@ -925,30 +1002,61 @@ def _cmd_schedule_compare(args) -> int:
     }[args.config]
     strategy = ConversionStrategy(args.strategy)
 
-    rows = []
-    metrics: dict[str, dict] = {}
-    for pol in policies:
-        rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
-                                record_events=True, policy=pol)
-        energy = energy_report(gpu, rep.trace.events, rep.makespan)
-        d = rep.stats.to_dict()
-        d["energy_joules"] = energy.total_joules
-        metrics[pol] = d
-        rows.append((
-            pol,
+    def _row(label: str, rep, d: dict) -> tuple:
+        return (
+            label,
             f"{d['makespan_seconds']:.6g}",
             f"{d['tflops']:.1f}",
             f"{d['h2d_bytes'] / 1e9:.3f}",
             f"{d['d2h_bytes'] / 1e9:.3f}",
             f"{d['nic_bytes'] / 1e9:.3f}",
+            f"{(d.get('disk_read_bytes', 0) + d.get('disk_write_bytes', 0)) / 1e9:.3f}",
+            d["n_evictions"],
+            d.get("n_spills", 0),
             d["n_conversions"],
-            f"{energy.total_joules:.1f}",
-        ))
+            f"{d['energy_joules']:.1f}",
+        )
+
+    rows = []
+    metrics: dict[str, dict] = {}
+    baseline_rep = None
+    for pol in policies:
+        rep = simulate_cholesky(args.n, args.nb, kmap, platform, strategy=strategy,
+                                record_events=True, policy=pol)
+        if pol == args.baseline:
+            baseline_rep = rep
+        energy = energy_report(gpu, rep.trace.events, rep.makespan)
+        d = rep.stats.to_dict()
+        d["energy_joules"] = energy.total_joules
+        metrics[pol] = d
+        rows.append(_row(pol, rep, d))
+
+    if args.replay_check and baseline_rep is not None:
+        from .core import replay_cholesky
+        from .runtime import StaticSchedule
+
+        schedule = StaticSchedule.from_report(
+            baseline_rep, nb=args.nb, n=args.n, platform=platform,
+        )
+        rep = replay_cholesky(args.n, args.nb, kmap, platform, schedule,
+                              strategy=strategy, record_events=True)
+        energy = energy_report(gpu, rep.trace.events, rep.makespan)
+        d = rep.stats.to_dict()
+        d["energy_joules"] = energy.total_joules
+        label = f"replay:{args.baseline}"
+        metrics[label] = d
+        rows.append(_row(label, rep, d))
+        if (rep.makespan != baseline_rep.makespan
+                or rep.trace.content_hash() != baseline_rep.trace.content_hash()):
+            print(f"schedule-compare: replay of {args.baseline} diverged "
+                  f"from the live run", file=sys.stderr)
+            return 1
+
     title = (f"schedule-compare: {args.config}/{args.strategy} n={args.n} "
              f"nb={args.nb} {args.nodes}x{args.gpus}x{args.gpu}")
     print(format_table(
         ("policy", "makespan_s", "tflops", "h2d_gb", "d2h_gb", "nic_gb",
-         "conversions", "energy_j"),
+         "disk_gb", "evictions", "spills", "conversions", "energy_j"),
         rows, title=title,
     ))
 

@@ -21,7 +21,13 @@ from .precision_map import (
     two_precision_map,
     uniform_map,
 )
-from .solver import FactorizationPlan, MPCholeskySolver, default_stream_lookahead, simulate_cholesky
+from .solver import (
+    FactorizationPlan,
+    MPCholeskySolver,
+    default_stream_lookahead,
+    replay_cholesky,
+    simulate_cholesky,
+)
 
 __all__ = [
     "CholeskyDag",
@@ -47,6 +53,7 @@ __all__ = [
     "payload_encoding",
     "refine_solve",
     "default_stream_lookahead",
+    "replay_cholesky",
     "simulate_cholesky",
     "stream_cholesky_tasks",
     "solve_with_factor",

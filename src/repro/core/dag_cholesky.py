@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..obs.profile import hot_region
-from ..perfmodel.kernels import KernelKind, kernel_flops
+from ..perfmodel.kernels import KernelKind, kernel_flops, kernel_flops_rect
 from ..precision.formats import Precision
 from ..runtime.dsl import TaskClassSpec, TaskInstance, unroll, unroll_stream
 from ..runtime.task import Task, TaskGraph, TileRef
@@ -177,7 +177,7 @@ def _cholesky_classes(
             params=params,
             rank=grid.owner(m, k),
             precision=trsm_execution_precision(kernel_map.kernel(m, k)),
-            flops=kernel_flops(KernelKind.TRSM, edge(m)),
+            flops=kernel_flops_rect(KernelKind.TRSM, edge(m), edge(k)),
             writes=TileRef(m, k, k + 1),
             output_precision=panel_storage(m, k),
             reads=[
@@ -215,7 +215,7 @@ def _cholesky_classes(
             params=params,
             rank=grid.owner(m, m),
             precision=Precision.FP64,
-            flops=kernel_flops(KernelKind.SYRK, edge(m)),
+            flops=kernel_flops_rect(KernelKind.SYRK, edge(m), edge(k)),
             writes=TileRef(m, m, k + 1),
             output_precision=Precision.FP64,
             reads=[
@@ -260,7 +260,7 @@ def _cholesky_classes(
             params=params,
             rank=grid.owner(m, nn),
             precision=prec,
-            flops=kernel_flops(KernelKind.GEMM, edge(m)),
+            flops=kernel_flops_rect(KernelKind.GEMM, edge(m), edge(nn), edge(k)),
             writes=TileRef(m, nn, k + 1),
             output_precision=out_prec,
             reads=[

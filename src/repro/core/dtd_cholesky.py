@@ -13,7 +13,7 @@ task-insertion runtimes").
 
 from __future__ import annotations
 
-from ..perfmodel.kernels import KernelKind, kernel_flops
+from ..perfmodel.kernels import KernelKind, kernel_flops, kernel_flops_rect
 from ..precision.formats import Precision
 from ..runtime.dtd import AccessMode, DataAccess, DTDRuntime
 from ..tiles.distribution import ProcessGrid
@@ -96,7 +96,7 @@ def build_cholesky_dag_dtd(
                 ],
                 rank=grid.owner(m, k),
                 precision=trsm_execution_precision(kernel_map.kernel(m, k)),
-                flops=kernel_flops(KernelKind.TRSM, edge(m)),
+                flops=kernel_flops_rect(KernelKind.TRSM, edge(m), edge(k)),
                 output_precision=comm_map.storage(m, k),
                 sender_conversion=sender_conv(m, k),
                 priority=k * 4 + _KIND_RANK[KernelKind.TRSM],
@@ -113,7 +113,7 @@ def build_cholesky_dag_dtd(
                 ],
                 rank=grid.owner(m, m),
                 precision=Precision.FP64,
-                flops=kernel_flops(KernelKind.SYRK, edge(m)),
+                flops=kernel_flops_rect(KernelKind.SYRK, edge(m), edge(k)),
                 output_precision=Precision.FP64,
                 priority=k * 4 + _KIND_RANK[KernelKind.SYRK],
             )
@@ -135,7 +135,7 @@ def build_cholesky_dag_dtd(
                     ],
                     rank=grid.owner(m, nn),
                     precision=prec,
-                    flops=kernel_flops(KernelKind.GEMM, edge(m)),
+                    flops=kernel_flops_rect(KernelKind.GEMM, edge(m), edge(nn), edge(k)),
                     output_precision=rest,
                     priority=k * 4 + _KIND_RANK[KernelKind.GEMM],
                 )

@@ -16,7 +16,8 @@ import numpy as np
 from ..perfmodel.gpus import GPUSpec
 from ..runtime.executor import execute_numeric
 from ..runtime.platform import Platform
-from ..runtime.simulator import SimReport, simulate, simulate_stream
+from ..runtime.schedule import StaticSchedule
+from ..runtime.simulator import SimReport, simulate, simulate_replay, simulate_stream
 from ..tiles.norms import tile_norms
 from ..tiles.tilematrix import TiledSymmetricMatrix
 from .cholesky import CholeskyResult, logdet_from_factor, mp_cholesky, solve_with_factor
@@ -29,6 +30,7 @@ __all__ = [
     "FactorizationPlan",
     "MPCholeskySolver",
     "default_stream_lookahead",
+    "replay_cholesky",
     "simulate_cholesky",
 ]
 
@@ -197,4 +199,44 @@ def simulate_cholesky(
         enforce_memory=enforce_memory,
         record_events=record_events,
         policy=policy,
+    )
+
+
+def replay_cholesky(
+    n: int,
+    nb: int,
+    kernel_map: KernelPrecisionMap,
+    platform: Platform,
+    schedule: StaticSchedule,
+    *,
+    strategy: ConversionStrategy = ConversionStrategy.AUTO,
+    enforce_memory: bool = True,
+    record_events: bool = True,
+) -> SimReport:
+    """Re-execute an exported :class:`StaticSchedule` with no scheduler.
+
+    Rebuilds the Cholesky DAG in the layout the schedule was exported
+    from (materialised class-major ids, or k-major streamed ids),
+    validates the schedule's fingerprint against it, and runs
+    :func:`repro.runtime.simulator.simulate_replay` — bit-identical to
+    the run that produced the schedule, without any ready-heap or
+    policy-key work.
+    """
+    dag = build_cholesky_dag(
+        n,
+        nb,
+        kernel_map,
+        strategy=strategy,
+        grid=platform.process_grid(),
+        stream=schedule.layout == "stream",
+    )
+    schedule.validate_against(len(dag.graph), platform)
+    return simulate_replay(
+        dag.graph,
+        platform,
+        nb,
+        schedule.order,
+        enforce_memory=enforce_memory,
+        record_events=record_events,
+        source_policy=schedule.policy,
     )

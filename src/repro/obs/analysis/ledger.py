@@ -25,8 +25,9 @@ from ...precision.formats import Precision, bytes_per_element
 
 __all__ = ["LedgerRow", "ConversionRow", "DataMotionLedger", "build_ledger"]
 
-#: the three links of the simulated memory hierarchy, in report order
-LINKS = ("h2d", "d2h", "nic")
+#: the links of the simulated memory hierarchy, in report order; the
+#: disk pair only carries bytes in out-of-core runs (host-tier spills)
+LINKS = ("h2d", "d2h", "nic", "disk_read", "disk_write")
 
 
 def _fp64_bytes(precision: Precision | None, nbytes: int) -> int:
@@ -302,6 +303,8 @@ def _normalize_stats(stats):
             "h2d": stats.h2d_bytes_by_precision,
             "d2h": stats.d2h_bytes_by_precision,
             "nic": stats.nic_bytes_by_precision,
+            "disk_read": getattr(stats, "disk_read_bytes_by_precision", {}),
+            "disk_write": getattr(stats, "disk_write_bytes_by_precision", {}),
         }
         conv_counts = stats.conversions_by_site
         conv_seconds = stats.conversion_seconds_by_site

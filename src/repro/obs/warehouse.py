@@ -442,14 +442,30 @@ class Warehouse:
         if rows is None:
             rows = self.runs(**filters)
         rows = list(rows)
+        # each run kind reports a different headline throughput metric
+        # (simulate → tflops, sweeps → best_tflops, simbench/profile →
+        # tasks_per_second); label the one actually shown rather than
+        # printing them all under one ambiguous column
+        rate_units = (
+            ("tflops", "tflops"),
+            ("best_tflops", "best tflops"),
+            ("tasks_per_second", "tasks/s"),
+        )
         body = []
         for row in rows:
             scopes = self.metric_scopes(row.seq)
             primary = scopes.get("run") or scopes.get("aggregate") or scopes.get("profile") or {}
-            makespan = primary.get("makespan_seconds",
-                                   primary.get("total_sim_makespan_seconds"))
-            tflops = primary.get("tflops", primary.get("best_tflops",
-                                                       primary.get("tasks_per_second")))
+            makespan = primary.get("makespan_seconds")
+            makespan_label = "sim s"
+            if makespan is None:
+                makespan = primary.get("total_sim_makespan_seconds")
+                makespan_label = "total sim s"
+            rate = None
+            rate_label = ""
+            for metric, unit in rate_units:
+                if primary.get(metric) is not None:
+                    rate, rate_label = primary[metric], unit
+                    break
             body.append((
                 row.seq,
                 row.run_key,
@@ -457,8 +473,8 @@ class Warehouse:
                 row.policy or "-",
                 row.nt if row.nt is not None else "-",
                 row.config or "-",
-                f"{makespan:.4g}" if makespan is not None else "-",
-                f"{tflops:.4g}" if tflops is not None else "-",
+                f"{makespan:.4g} {makespan_label}" if makespan is not None else "-",
+                f"{rate:.4g} {rate_label}" if rate is not None else "-",
             ))
         counts = self.counts()
         title = (
@@ -470,7 +486,7 @@ class Warehouse:
             return title + "\n(no matching runs)"
         return format_table(
             ["seq", "run key", "kind", "policy", "nt", "config",
-             "makespan/total", "tflops/rate"],
+             "makespan", "throughput"],
             body,
             title=title,
         )

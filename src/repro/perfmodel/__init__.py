@@ -30,6 +30,7 @@ from .kernels import (
     conversion_time,
     gemm_time,
     kernel_flops,
+    kernel_flops_rect,
     kernel_time,
 )
 from .network import NetworkModel, broadcast_steps, broadcast_time, message_time
@@ -72,6 +73,7 @@ __all__ = [
     "h2d_time",
     "host_copy_time",
     "kernel_flops",
+    "kernel_flops_rect",
     "kernel_time",
     "mean_occupancy",
     "message_time",

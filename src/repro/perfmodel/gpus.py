@@ -232,6 +232,8 @@ class NodeSpec:
     nic_bandwidth: float  # injection bandwidth per direction, bytes/s
     nic_latency: float  # per-message latency, seconds
     cpu_memory_bandwidth: float = 100e9  # host-side staging copies
+    disk_bandwidth: float = 2e9  # NVMe spill tier, bytes/s per direction
+    disk_latency: float = 100e-6  # per-transfer latency, seconds
 
     @property
     def total_gpu_memory(self) -> float:

@@ -20,6 +20,7 @@ from .gpus import GPUSpec
 __all__ = [
     "KernelKind",
     "kernel_flops",
+    "kernel_flops_rect",
     "kernel_time",
     "gemm_time",
     "conversion_time",
@@ -62,6 +63,36 @@ def kernel_flops(kind: str, nb: int) -> float:
         return n3 + float(nb) ** 2
     if kind == KernelKind.GEMM:
         return 2.0 * n3
+    raise ValueError(f"unknown kernel kind {kind!r}")
+
+
+def kernel_flops_rect(kind: str, *dims: int) -> float:
+    """Flop count of one tile kernel on a rectangular tile.
+
+    When ``nb ∤ n`` the last tile row/column is ragged, so TRSM, SYRK,
+    and GEMM operate on rectangular blocks; cubing a single edge (what
+    :func:`kernel_flops` does) misprices them.  Per-dimension counts:
+
+    * ``POTRF(n)``       → n³/3
+    * ``TRSM(m, k)``     → m·k²  (m×k block solved against the k×k triangle)
+    * ``SYRK(m, k)``     → m²·k + m²  (m×m update from an m×k panel)
+    * ``GEMM(m, n, k)``  → 2·m·n·k
+
+    Each reduces exactly to ``kernel_flops(kind, nb)`` when every
+    dimension equals ``nb``, so square-tile pricing is unchanged.
+    """
+    if kind == KernelKind.POTRF:
+        (n,) = dims
+        return float(n) ** 3 / 3.0
+    if kind == KernelKind.TRSM:
+        m, k = dims
+        return float(m) * float(k) ** 2
+    if kind == KernelKind.SYRK:
+        m, k = dims
+        return float(m) ** 2 * float(k) + float(m) ** 2
+    if kind == KernelKind.GEMM:
+        m, n, k = dims
+        return 2.0 * float(m) * float(n) * float(k)
     raise ValueError(f"unknown kernel kind {kind!r}")
 
 

@@ -12,13 +12,15 @@ from .policies import (
     CommAwareEftPolicy,
     CriticalPathPolicy,
     FifoPolicy,
+    OocStaticPolicy,
     PanelFirstPolicy,
     SchedulePolicy,
     get_policy,
     policy_topological_order,
     register_policy,
 )
-from .simulator import SimReport, simulate, simulate_stream
+from .schedule import StaticSchedule
+from .simulator import SimReport, simulate, simulate_replay, simulate_stream
 from .task import Task, TaskGraph, TaskInput, TileRef
 from .tracing import RunStats, Trace, TraceEvent
 
@@ -30,12 +32,14 @@ __all__ = [
     "DataAccess",
     "DistributedReport",
     "FifoPolicy",
+    "OocStaticPolicy",
     "POLICY_NAMES",
     "PanelFirstPolicy",
     "Platform",
     "SchedulePolicy",
     "RunStats",
     "SimReport",
+    "StaticSchedule",
     "StreamOrderError",
     "Task",
     "TaskClassSpec",
@@ -55,6 +59,7 @@ __all__ = [
     "policy_topological_order",
     "register_policy",
     "simulate",
+    "simulate_replay",
     "simulate_stream",
     "to_chrome_trace",
     "unroll",

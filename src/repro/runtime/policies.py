@@ -63,6 +63,7 @@ __all__ = [
     "FifoPolicy",
     "CriticalPathPolicy",
     "CommAwareEftPolicy",
+    "OocStaticPolicy",
     "POLICY_NAMES",
     "get_policy",
     "register_policy",
@@ -282,6 +283,60 @@ class CommAwareEftPolicy(SchedulePolicy):
         return (ready_t + seconds, 0.0)
 
 
+class OocStaticPolicy(SchedulePolicy):
+    """Residency-driven ordering for out-of-core (larger-than-memory) runs.
+
+    Among ready tasks, prefer the one whose inputs would move the fewest
+    bytes *right now*: GPU-resident inputs are free, host-resident
+    inputs cost their h2d copy, and inputs that fell out of both tiers
+    (disk spill or a remote origin) are weighted by the full re-stage
+    chain.  Hot tiles are therefore consumed while they are still
+    resident — before the LRU can shed them — which is what minimises
+    eviction and spill traffic when device+host capacity cannot hold the
+    working set (the static-residency planning of arXiv 2410.09819,
+    folded into list scheduling).  Ties break on ready time, then the
+    panel priority, so in-memory runs degrade to a panel-ish order.
+
+    Frontier-local (``requires_full_graph = False``): the score uses
+    only the task's own inputs plus the live residency snapshot, so the
+    policy drives :func:`~repro.runtime.simulator.simulate_stream` —
+    out-of-core *and* out-of-DAG at once.
+    """
+
+    name = "ooc-static"
+
+    #: re-stage chain weight for an input resident in neither tier:
+    #: d2h/disk at the origin, a possible NIC hop, then h2d — several
+    #: link crossings vs the single h2d of a host hit
+    MISS_WEIGHT = 4.0
+
+    def __init__(self) -> None:
+        self._platform: "Platform | None" = None
+
+    def prepare(self, graph: "TaskGraph", platform: "Platform | None", nb: int) -> None:
+        self._platform = platform
+
+    def key(
+        self, task: "Task", ready_t: float, state: SchedState | None = None
+    ) -> tuple[float, float]:
+        platform = self._platform
+        if platform is None or state is None:
+            return (ready_t, task.priority)
+        rank = task.rank
+        node = platform.node_of(rank)
+        penalty = 0.0
+        for inp in task.inputs:
+            key = (inp.tile.i, inp.tile.j, inp.tile.version, inp.payload_precision)
+            if state.resident(rank, key):
+                continue
+            nbytes = inp.elements * bytes_per_element(inp.payload_precision)
+            if state.host_resident(node, key):
+                penalty += nbytes
+            else:
+                penalty += self.MISS_WEIGHT * nbytes
+        return (penalty, ready_t + 1e-9 * task.priority)
+
+
 #: name -> zero-arg policy factory (classes are stateful per run)
 _REGISTRY: dict[str, Callable[[], SchedulePolicy]] = {}
 
@@ -305,7 +360,8 @@ def register_policy(factory: Callable[[], SchedulePolicy], name: str | None = No
     POLICY_NAMES = tuple(_REGISTRY)
 
 
-for _cls in (PanelFirstPolicy, FifoPolicy, CriticalPathPolicy, CommAwareEftPolicy):
+for _cls in (PanelFirstPolicy, FifoPolicy, CriticalPathPolicy, CommAwareEftPolicy,
+             OocStaticPolicy):
     register_policy(_cls)
 
 

@@ -66,7 +66,7 @@ from .task import Task, TaskGraph, TaskInput
 from .tracing import RunStats, Trace, TraceEvent
 from ..core.conversion import needs_conversion
 
-__all__ = ["SimReport", "simulate", "simulate_stream"]
+__all__ = ["SimReport", "simulate", "simulate_stream", "simulate_replay"]
 
 # payload keys: (i, j, version, payload_precision)
 _Key = tuple[int, int, int, Precision]
@@ -87,6 +87,10 @@ class SimReport:
     #: most Task objects alive at once (== n_tasks for the materialising
     #: path; the emission-window high-water mark for simulate_stream)
     peak_live_tasks: int = 0
+    #: task ids in the order the scheduler committed them to their
+    #: engines — the input to :func:`simulate_replay` and
+    #: :class:`repro.runtime.schedule.StaticSchedule`
+    commit_order: list[int] = field(default_factory=list)
 
     @property
     def gflops(self) -> float:
@@ -185,7 +189,17 @@ def _build_engine(
 
     caches = [_Lru(gpu.memory_bytes if enforce_memory else 0.0) for _ in range(n_ranks)]
     gpu_ready: list[dict[_Key, float]] = [dict() for _ in range(n_ranks)]
+    # host tier: per-node availability times plus a byte-bounded LRU; the
+    # LRU never evicts while the working set fits (existing in-memory
+    # configurations are bit-identical to the unbounded-host model)
+    host_caches = [
+        _Lru(platform.node.host_memory_bytes if enforce_memory else 0.0)
+        for _ in range(n_nodes)
+    ]
     host_ready: list[dict[_Key, float]] = [dict() for _ in range(n_nodes)]
+    # disk tier: per-node spill store with its own serial engine
+    disk_ready: list[dict[_Key, float]] = [dict() for _ in range(n_nodes)]
+    disk_free = [0.0] * n_nodes
     #: rank on whose GPU a produced key first materialised
     origin_rank: dict[_Key, int] = {}
 
@@ -193,6 +207,8 @@ def _build_engine(
     link_lat = gpu.host_link_latency
     nic_bw = platform.node.nic_bandwidth
     nic_lat = platform.node.nic_latency
+    disk_bw = platform.node.disk_bandwidth
+    disk_lat = platform.node.disk_latency
     node_of = platform.node_of
     gpus_per_node = platform.node.gpus_per_node
     bpe = {p: bytes_per_element(p) for p in Precision}.__getitem__
@@ -228,59 +244,126 @@ def _build_engine(
             t = _conv_time[key] = conversion_time(gpu, elements, src, dst)
         return t
 
-    def _writeback(rank: int, key: _Key, nbytes: int, dirty: bool, now: float) -> None:
-        """Account one eviction; flush to the host only when required.
+    def _host_evict(node: int, key: _Key, nbytes: int) -> None:
+        """Handle one host-tier LRU eviction at ``node``.
+
+        Keys are immutable per (tile, version, precision), so the only
+        question is whether another tier still holds a copy:
+
+        * a *replica* node (not the key's origin node) drops it for free
+          — a later consumer re-stages from the origin;
+        * the origin node drops it for free when the local disk or the
+          origin GPU still holds it (a later GPU eviction re-flushes
+          through the ordinary d2h write-back);
+        * otherwise this was the only copy: it spills through the node's
+          disk engine, and every spilled byte lands in the data-motion
+          ledger under ``disk_write``.
+        """
+        stats.n_host_evictions += 1
+        avail = host_ready[node].pop(key)
+        src_rank = origin_rank.get(key)
+        if src_rank is None or node_of(src_rank) != node:
+            return
+        if key in disk_ready[node] or key in gpu_ready[src_rank]:
+            return
+        start = max(disk_free[node], avail)
+        end = start + disk_lat + nbytes / disk_bw
+        disk_free[node] = end
+        disk_ready[node][key] = end
+        stats.n_spills += 1
+        stats.add_disk_write(key[3], nbytes)
+        busy["disk_write"] += end - start
+        record(TraceEvent(gpus_per_node * node, "disk_write", "SPILL", start, end, key[3], nbytes))
+
+    def _host_insert(node: int, key: _Key, nbytes: int, t: float, protect: set[_Key]) -> None:
+        """Register ``key`` in ``node``'s host memory, evicting LRU overflow.
+
+        An existing entry keeps its earlier availability time (keys are
+        immutable) and is only refreshed in the LRU order.
+        """
+        cache = host_caches[node]
+        if key in host_ready[node]:
+            cache.touch(key)
+            return
+        host_ready[node][key] = t
+        cache.insert(key, nbytes, dirty=False)
+        for ev_key, ev_bytes, _ev_dirty in cache.evict_until_fits(protect):
+            _host_evict(node, ev_key, ev_bytes)
+
+    def _writeback(
+        rank: int, key: _Key, nbytes: int, dirty: bool, now: float, protect: set[_Key]
+    ) -> None:
+        """Account one GPU eviction; flush to the host only when required.
 
         Every eviction counts toward ``stats.n_evictions`` and the
         ``sim.evictions`` metric.  The d2h transfer is charged only when
-        the host copy is actually missing or the entry is dirty; a clean
-        entry the host already holds is dropped for free.
+        no lower tier (host or local disk) holds a copy or the entry is
+        dirty; a clean entry the host (or disk) already holds is dropped
+        for free.
         """
         node = node_of(rank)
         stats.n_evictions += 1
         evictions_metric.inc()
-        if key in host_ready[node] and not dirty:
+        if not dirty and (key in host_ready[node] or key in disk_ready[node]):
             return
         start = max(d2h_free[rank], gpu_ready[rank].get(key, now))
         end = start + link_lat + nbytes / link_bw
         d2h_free[rank] = end
-        # keys are immutable per (tile, version, precision): an existing
-        # host copy stays valid, so keep its earlier availability time
-        host_ready[node].setdefault(key, end)
         stats.add_d2h(key[3], nbytes)
         busy["d2h"] += end - start
         record(TraceEvent(rank, "d2h", "EVICT", start, end, key[3], nbytes))
+        _host_insert(node, key, nbytes, end, protect)
 
-    def _stage_to_host(dest_node: int, key: _Key, nbytes: int, now: float) -> float:
+    def _stage_to_host(
+        dest_node: int, key: _Key, nbytes: int, now: float, protect: set[_Key]
+    ) -> float:
         """Time at which ``key`` is available in ``dest_node``'s host memory."""
-        if key in host_ready[dest_node]:
-            return host_ready[dest_node][key]
+        t = host_ready[dest_node].get(key)
+        if t is not None:
+            host_caches[dest_node].touch(key)
+            return t
         src_rank = origin_rank.get(key)
         if src_rank is None:
             raise KeyError(f"payload {key} has no origin (missing producer or host seed)")
         src_node = node_of(src_rank)
-        # d2h at the origin (skipped if the origin's host already has it)
+        # recover at the origin (skipped if the origin's host already has it):
+        # d2h from the origin GPU, or a disk read when the host tier spilled
         if key not in host_ready[src_node]:
             data_t = gpu_ready[src_rank].get(key)
-            if data_t is None:
-                raise KeyError(f"payload {key} vanished from its origin GPU {src_rank}")
-            start = max(d2h_free[src_rank], data_t)
-            end = start + link_lat + nbytes / link_bw
-            d2h_free[src_rank] = end
-            host_ready[src_node][key] = end
-            stats.add_d2h(key[3], nbytes)
-            busy["d2h"] += end - start
-            record(TraceEvent(src_rank, "d2h", "STAGE", start, end, key[3], nbytes))
+            if data_t is not None:
+                start = max(d2h_free[src_rank], data_t)
+                end = start + link_lat + nbytes / link_bw
+                d2h_free[src_rank] = end
+                stats.add_d2h(key[3], nbytes)
+                busy["d2h"] += end - start
+                record(TraceEvent(src_rank, "d2h", "STAGE", start, end, key[3], nbytes))
+            else:
+                disk_t = disk_ready[src_node].get(key)
+                if disk_t is None:
+                    raise KeyError(f"payload {key} vanished from its origin node {src_node}")
+                start = max(disk_free[src_node], disk_t)
+                end = start + disk_lat + nbytes / disk_bw
+                disk_free[src_node] = end
+                stats.add_disk_read(key[3], nbytes)
+                busy["disk_read"] += end - start
+                record(
+                    TraceEvent(
+                        gpus_per_node * src_node, "disk_read", "FETCH", start, end, key[3], nbytes
+                    )
+                )
+            _host_insert(src_node, key, nbytes, end, protect)
+            if key not in host_ready[src_node]:  # pragma: no cover - defensive
+                raise RuntimeError(f"host tier at node {src_node} cannot hold payload {key}")
         if src_node == dest_node:
             return host_ready[src_node][key]
         # inter-node message (sender NIC serialisation, alpha-beta model)
         start = max(nic_free[src_node], host_ready[src_node][key])
         end = start + nic_lat + nbytes / nic_bw
         nic_free[src_node] = end
-        host_ready[dest_node][key] = end
         stats.add_nic(key[3], nbytes)
         busy["nic"] += end - start
         record(TraceEvent(gpus_per_node * src_node, "nic", "SEND", start, end, key[3], nbytes))
+        _host_insert(dest_node, key, nbytes, end, protect)
         return end
 
     def _acquire(
@@ -292,27 +375,39 @@ def _build_engine(
             cache.touch(key)
             return gpu_ready[rank][key]
         node = node_of(rank)
-        t_host = _stage_to_host(node, key, nbytes, now)
+        t_host = _stage_to_host(node, key, nbytes, now, protect)
         start = max(h2d_free[rank], t_host)
         end = start + link_lat + nbytes / link_bw
         h2d_free[rank] = end
         gpu_ready[rank][key] = end
         cache.insert(key, nbytes, dirty=False)
         for ev_key, ev_bytes, ev_dirty in cache.evict_until_fits(protect):
-            _writeback(rank, ev_key, ev_bytes, ev_dirty, now)
+            _writeback(rank, ev_key, ev_bytes, ev_dirty, now, protect)
             gpu_ready[rank].pop(ev_key, None)
         stats.add_h2d(payload_prec, nbytes)
         busy["h2d"] += end - start
         record(TraceEvent(rank, "h2d", "LOAD", start, end, payload_prec, nbytes))
         return end
 
+    _no_protect: set[_Key] = set()
+
     def seed_host(task: Task) -> None:
-        """Seed the task's version-0 inputs at its owner's host memory."""
+        """Seed the task's version-0 inputs at its owner's node.
+
+        The generated matrix starts on the node's disk tier (free at
+        t=0) with a warm host copy; when the host tier cannot hold the
+        whole matrix the LRU sheds the overflow immediately — for free,
+        since the disk already has those tiles — and first touch pays
+        the disk read instead.
+        """
         for inp in task.inputs:
             if inp.producer is None:
                 tile = inp.tile
                 key: _Key = (tile.i, tile.j, tile.version, inp.payload_precision)
-                host_ready[node_of(task.rank)].setdefault(key, 0.0)
+                node = node_of(task.rank)
+                if key not in host_ready[node]:
+                    disk_ready[node].setdefault(key, 0.0)
+                    _host_insert(node, key, _payload_bytes(inp), 0.0, _no_protect)
                 origin_rank.setdefault(key, task.rank)
 
     def exec_task(task: Task, ready_t: float) -> tuple[float, float]:
@@ -397,7 +492,7 @@ def _build_engine(
             caches[rank].insert(pay_key, pay_bytes, dirty=False)
             origin_rank[pay_key] = rank
         for ev_key, ev_bytes, ev_dirty in caches[rank].evict_until_fits(protect):
-            _writeback(rank, ev_key, ev_bytes, ev_dirty, end)
+            _writeback(rank, ev_key, ev_bytes, ev_dirty, end, protect)
             gpu_ready[rank].pop(ev_key, None)
         return start, end
 
@@ -417,6 +512,7 @@ def _finish(
     task_start: list[float],
     registry,
     peak_live: int,
+    commit_order: list[int] | None = None,
 ) -> SimReport:
     """Publish run telemetry and assemble the :class:`SimReport`."""
     makespan = max(task_end, default=0.0)
@@ -432,6 +528,8 @@ def _finish(
         ("h2d", stats.h2d_bytes_by_precision),
         ("d2h", stats.d2h_bytes_by_precision),
         ("nic", stats.nic_bytes_by_precision),
+        ("disk_read", stats.disk_read_bytes_by_precision),
+        ("disk_write", stats.disk_write_bytes_by_precision),
     ):
         for precision, nbytes in by_precision.items():
             bytes_metric.inc(nbytes, link=link, precision=precision.name)
@@ -446,6 +544,8 @@ def _finish(
             "nic_bytes": stats.nic_bytes,
             "n_conversions": stats.n_conversions,
             "n_evictions": stats.n_evictions,
+            "n_host_evictions": stats.n_host_evictions,
+            "n_spills": stats.n_spills,
             "policy": sched.name,
         },
     )
@@ -457,6 +557,7 @@ def _finish(
         task_start=task_start,
         policy=sched.name,
         peak_live_tasks=peak_live,
+        commit_order=commit_order if commit_order is not None else [],
     )
 
 
@@ -490,7 +591,10 @@ def simulate(
     registry = get_registry()
     evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
     conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
-    busy: dict[str, float] = {"compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0}
+    busy: dict[str, float] = {
+        "compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0,
+        "disk_read": 0.0, "disk_write": 0.0,
+    }
 
     trace = Trace()
     stats = trace.stats
@@ -519,6 +623,8 @@ def simulate(
     task_start = [0.0] * n
     task_ready = [0.0] * n
     key_of = sched.key
+    commit_order: list[int] = []
+    commit = commit_order.append
     heap: list[tuple[float, float, int]] = []
     for tid in range(n):
         if in_count[tid] == 0:
@@ -530,6 +636,7 @@ def simulate(
     with hot_region("sim.ready_heap_loop"):
         while heap:
             tid = heappop(heap)[-1]
+            commit(tid)
             start, end = exec_task(tasks[tid], task_ready[tid])
             task_start[tid] = start
             task_end[tid] = end
@@ -550,7 +657,10 @@ def simulate(
     if done != n:
         raise RuntimeError(f"simulation deadlock: {done}/{n} tasks executed")
 
-    return _finish(sched, stats, trace, busy, task_end, task_start, registry, peak_live=n)
+    return _finish(
+        sched, stats, trace, busy, task_end, task_start, registry,
+        peak_live=n, commit_order=commit_order,
+    )
 
 
 @traced("sim.run")
@@ -589,6 +699,16 @@ def simulate_stream(
     (``requires_full_graph``: critical-path, comm-aware-eft) are
     rejected — they would need the very materialisation this path
     avoids.
+
+    .. caveat:: the O(window) live-memory bound covers *Task* objects
+       only.  With ``record_events=True`` (the default) the recording
+       :class:`Trace` accumulates O(n_tasks) events — several per task —
+       which silently dominates memory at NT ≳ 192 (~1.2M tasks).  Pass
+       ``record_events=False`` for million-task runs; ``repro simbench
+       --mode stream`` warns when event recording is left on.  (The
+       per-task ``task_end``/``task_start``/``commit_order`` arrays are
+       O(n_tasks) too, but at a few machine words per task they are two
+       orders of magnitude lighter than recorded events.)
     """
     if lookahead < 1:
         raise ValueError("lookahead must be positive")
@@ -604,7 +724,10 @@ def simulate_stream(
     registry = get_registry()
     evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
     conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
-    busy: dict[str, float] = {"compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0}
+    busy: dict[str, float] = {
+        "compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0,
+        "disk_read": 0.0, "disk_write": 0.0,
+    }
 
     trace = Trace()
     stats = trace.stats
@@ -621,6 +744,8 @@ def simulate_stream(
     task_ready: list[float] = []
     heap: list[tuple[float, float, int]] = []
     key_of = sched.key
+    commit_order: list[int] = []
+    commit = commit_order.append
     heappop = heapq.heappop
     heappush = heapq.heappush
 
@@ -675,6 +800,7 @@ def simulate_stream(
                 if not heap:
                     break
             tid = heappop(heap)[-1]
+            commit(tid)
             start, end = exec_task(graph.tasks[tid], task_ready[tid])
             task_start[tid] = start
             task_end[tid] = end
@@ -700,4 +826,96 @@ def simulate_stream(
             "(emission order is not topological?)"
         )
 
-    return _finish(sched, stats, trace, busy, task_end, task_start, registry, peak_live=peak_live)
+    return _finish(
+        sched, stats, trace, busy, task_end, task_start, registry,
+        peak_live=peak_live, commit_order=commit_order,
+    )
+
+
+@traced("sim.run")
+def simulate_replay(
+    graph: TaskGraph,
+    platform: Platform,
+    nb: int,
+    order: "Iterable[int]",
+    *,
+    enforce_memory: bool = True,
+    record_events: bool = True,
+    source_policy: str = "panel-first",
+) -> SimReport:
+    """Execute a previously committed task order — no heap, no policy keys.
+
+    ``order`` is the ``commit_order`` of an earlier :func:`simulate` /
+    :func:`simulate_stream` run over the *same* graph and platform
+    (usually via :class:`repro.runtime.schedule.StaticSchedule`).  The
+    engine state (caches, link timelines, conversions) evolves purely
+    from the execution sequence, so replaying the committed order
+    reproduces the original run bit-identically — same makespan, same
+    stats, same trace content hash — while skipping every ready-heap
+    push/pop and policy-key evaluation.
+
+    The order is validated as it executes: every task id must appear
+    exactly once and only after all its predecessors, else
+    ``ValueError`` — a schedule exported from a different graph shape
+    fails fast instead of producing a silently wrong account.
+    """
+    registry = get_registry()
+    evictions_metric = registry.counter("sim.evictions", "LRU evictions (all causes)")
+    conversions_metric = registry.counter("sim.conversions", "datatype conversion passes")
+    busy: dict[str, float] = {
+        "compute": 0.0, "h2d": 0.0, "d2h": 0.0, "nic": 0.0,
+        "disk_read": 0.0, "disk_write": 0.0,
+    }
+
+    trace = Trace()
+    stats = trace.stats
+    record = trace.record if record_events else (lambda ev: None)
+    seed_host, exec_task, _sched_state = _build_engine(
+        platform, nb, enforce_memory, record, stats, busy, evictions_metric, conversions_metric
+    )
+
+    for task in graph:
+        seed_host(task)
+
+    n = len(graph)
+    preds, _succs = graph.adjacency()
+    tasks = graph.tasks
+    executed = [False] * n
+    task_end = [0.0] * n
+    task_start = [0.0] * n
+    commit_order: list[int] = []
+    done = 0
+    with hot_region("sim.replay_loop"):
+        for tid in order:
+            tid = int(tid)
+            if not 0 <= tid < n or executed[tid]:
+                raise ValueError(
+                    f"replay order invalid at position {done}: task {tid} "
+                    f"{'already executed' if 0 <= tid < n else 'out of range'}"
+                )
+            ready_t = 0.0
+            for p in preds[tid]:
+                if not executed[p]:
+                    raise ValueError(
+                        f"replay order violates precedence: task {tid} scheduled "
+                        f"before its predecessor {p}"
+                    )
+                t = task_end[p]
+                if t > ready_t:
+                    ready_t = t
+            commit_order.append(tid)
+            start, end = exec_task(tasks[tid], ready_t)
+            task_start[tid] = start
+            task_end[tid] = end
+            executed[tid] = True
+            done += 1
+    if done != n:
+        raise ValueError(f"replay order incomplete: {done}/{n} tasks executed")
+
+    class _ReplayTag:
+        name = f"replay:{source_policy}"
+
+    return _finish(
+        _ReplayTag(), stats, trace, busy, task_end, task_start, registry,
+        peak_live=n, commit_order=commit_order,
+    )

@@ -64,6 +64,14 @@ class RunStats:
     conversion_seconds_by_site: dict[str, float] = field(default_factory=dict)
     n_tasks: int = 0
     n_evictions: int = 0
+    #: host-tier LRU evictions (out-of-core mode; GPU evictions are
+    #: ``n_evictions``)
+    n_host_evictions: int = 0
+    #: host entries whose only copy had to be written to the disk tier
+    n_spills: int = 0
+    #: disk-tier traffic (out-of-core spills and re-reads)
+    disk_read_bytes_by_precision: dict[Precision, int] = field(default_factory=dict)
+    disk_write_bytes_by_precision: dict[Precision, int] = field(default_factory=dict)
 
     @property
     def h2d_bytes(self) -> int:
@@ -76,6 +84,14 @@ class RunStats:
     @property
     def nic_bytes(self) -> int:
         return sum(self.nic_bytes_by_precision.values())
+
+    @property
+    def disk_read_bytes(self) -> int:
+        return sum(self.disk_read_bytes_by_precision.values())
+
+    @property
+    def disk_write_bytes(self) -> int:
+        return sum(self.disk_write_bytes_by_precision.values())
 
     @property
     def gflops(self) -> float:
@@ -105,6 +121,16 @@ class RunStats:
     def add_nic(self, precision: Precision, nbytes: int) -> None:
         self.nic_bytes_by_precision[precision] = (
             self.nic_bytes_by_precision.get(precision, 0) + nbytes
+        )
+
+    def add_disk_read(self, precision: Precision, nbytes: int) -> None:
+        self.disk_read_bytes_by_precision[precision] = (
+            self.disk_read_bytes_by_precision.get(precision, 0) + nbytes
+        )
+
+    def add_disk_write(self, precision: Precision, nbytes: int) -> None:
+        self.disk_write_bytes_by_precision[precision] = (
+            self.disk_write_bytes_by_precision.get(precision, 0) + nbytes
         )
 
     def add_conversion(self, site: str, seconds: float) -> None:
@@ -144,6 +170,17 @@ class RunStats:
             "conversion_seconds_by_site": dict(sorted(self.conversion_seconds_by_site.items())),
             "n_tasks": self.n_tasks,
             "n_evictions": self.n_evictions,
+            "n_host_evictions": self.n_host_evictions,
+            "n_spills": self.n_spills,
+            "disk_read_bytes": self.disk_read_bytes,
+            "disk_read_bytes_by_precision": {
+                p.name: v for p, v in sorted(self.disk_read_bytes_by_precision.items(), reverse=True)
+            },
+            "disk_write_bytes": self.disk_write_bytes,
+            "disk_write_bytes_by_precision": {
+                p.name: v
+                for p, v in sorted(self.disk_write_bytes_by_precision.items(), reverse=True)
+            },
         }
 
 
@@ -159,6 +196,22 @@ class Trace:
 
     def events_of_rank(self, rank: int) -> list[TraceEvent]:
         return [e for e in self.events if e.rank == rank]
+
+    def content_hash(self) -> str:
+        """Order-independent SHA-256 of the event stream.
+
+        Two traces hash equal iff they contain the same busy intervals —
+        the replay path's bit-identity contract (same events, possibly
+        recorded in a different order) is checked against this digest.
+        """
+        import hashlib
+
+        tuples = sorted(
+            (e.rank, e.engine, e.kind, e.t_start, e.t_end,
+             e.precision, e.bytes, e.flops, e.site)
+            for e in self.events
+        )
+        return hashlib.sha256(repr(tuples).encode()).hexdigest()
 
     def busy_seconds(self, engine: str, rank: int | None = None) -> float:
         return sum(

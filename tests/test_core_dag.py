@@ -35,6 +35,45 @@ class TestCensus:
         )
         assert dag.graph.total_flops() == pytest.approx(expected)
 
+    @pytest.mark.parametrize("n,nb", [(87, 16), (100, 16), (33, 32)])
+    def test_flops_total_ragged(self, n, nb):
+        """nb ∤ n: ragged edge tiles are rectangular and must be priced
+        per dimension, not by cubing a single edge (regression)."""
+        nt = -(-n // nb)
+        kmap = uniform_map(nt, Precision.FP64)
+        dag = build_cholesky_dag(n, nb, kmap)
+
+        def edge(i):
+            return nb if i < nt - 1 else n - (nt - 1) * nb
+
+        expected = sum(edge(k) ** 3 / 3 for k in range(nt))
+        expected += sum(
+            edge(m) * edge(k) ** 2 for k in range(nt) for m in range(k + 1, nt)
+        )
+        expected += sum(
+            edge(m) ** 2 * edge(k) + edge(m) ** 2
+            for k in range(nt) for m in range(k + 1, nt)
+        )
+        expected += sum(
+            2 * edge(m) * edge(nn) * edge(k)
+            for k in range(nt)
+            for nn in range(k + 1, nt)
+            for m in range(nn + 1, nt)
+        )
+        assert dag.graph.total_flops() == pytest.approx(expected, rel=1e-12)
+
+    def test_flops_total_ragged_matches_dtd(self):
+        """The DTD discovery path prices ragged tiles identically."""
+        from repro.core.dtd_cholesky import build_cholesky_dag_dtd
+
+        n, nb = 87, 16
+        kmap = uniform_map(-(-n // nb), Precision.FP64)
+        ptg = build_cholesky_dag(n, nb, kmap)
+        dtd = build_cholesky_dag_dtd(n, nb, kmap)
+        assert dtd.graph.total_flops() == pytest.approx(
+            ptg.graph.total_flops(), rel=1e-12
+        )
+
     def test_map_size_validation(self):
         with pytest.raises(ValueError, match="inconsistent"):
             build_cholesky_dag(100, 16, uniform_map(5, Precision.FP64))

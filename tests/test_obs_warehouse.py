@@ -203,6 +203,17 @@ class TestRendering:
         assert "2 runs" in text
         assert "panel-first" in text
 
+    def test_history_table_labels_throughput_metric(self, wh):
+        # the throughput column mixes metrics per run kind; each row
+        # must say which one it is showing (regression: tasks/sec rows
+        # used to print under a column headed "tflops/rate")
+        wh.ingest(_summary(run_id="tfl"))
+        wh.ingest(_profile_doc())
+        text = wh.history_table()
+        assert "tflops/rate" not in text
+        assert " tflops" in text
+        assert "tasks/s" in text
+
     def test_history_table_empty(self, wh):
         assert "(no matching runs)" in wh.history_table()
 

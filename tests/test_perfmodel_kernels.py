@@ -11,6 +11,7 @@ from repro.perfmodel.kernels import (
     conversion_time,
     gemm_time,
     kernel_flops,
+    kernel_flops_rect,
     kernel_time,
 )
 from repro.precision import Precision
@@ -38,6 +39,28 @@ class TestKernelFlops:
             * nt * (nt - 1) / 2
         )
         assert gemm / (gemm + other) > 0.85
+
+
+class TestKernelFlopsRect:
+    def test_rect_counts(self):
+        m, n, k = 96, 64, 32
+        assert kernel_flops_rect(KernelKind.POTRF, k) == pytest.approx(k**3 / 3)
+        assert kernel_flops_rect(KernelKind.TRSM, m, k) == m * k**2
+        assert kernel_flops_rect(KernelKind.SYRK, m, k) == m**2 * k + m**2
+        assert kernel_flops_rect(KernelKind.GEMM, m, n, k) == 2 * m * n * k
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=30)
+    def test_reduces_to_square_counts(self, nb):
+        """Square tiles price identically through either entry point."""
+        assert kernel_flops_rect(KernelKind.POTRF, nb) == kernel_flops(KernelKind.POTRF, nb)
+        assert kernel_flops_rect(KernelKind.TRSM, nb, nb) == kernel_flops(KernelKind.TRSM, nb)
+        assert kernel_flops_rect(KernelKind.SYRK, nb, nb) == kernel_flops(KernelKind.SYRK, nb)
+        assert kernel_flops_rect(KernelKind.GEMM, nb, nb, nb) == kernel_flops(KernelKind.GEMM, nb)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            kernel_flops_rect("TRMM", 64, 64)
 
 
 class TestKernelTime:

@@ -76,7 +76,9 @@ def _child_trace_hash(policy: str, queue) -> None:
 
 class TestRegistry:
     def test_shipped_policies(self):
-        assert POLICY_NAMES == ("panel-first", "fifo", "critical-path", "comm-aware-eft")
+        assert POLICY_NAMES == (
+            "panel-first", "fifo", "critical-path", "comm-aware-eft", "ooc-static"
+        )
         for name in POLICY_NAMES:
             pol = get_policy(name)
             assert isinstance(pol, SchedulePolicy) and pol.name == name
