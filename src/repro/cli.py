@@ -52,6 +52,27 @@ from pathlib import Path
 
 __all__ = ["main", "build_parser"]
 
+#: exit code of a run aborted by a watchdog ``:abort`` alert rule
+EXIT_WATCHDOG_ABORT = 3
+
+
+def _add_live_flags(p: argparse.ArgumentParser) -> None:
+    """The live-telemetry-plane flags shared by long-running verbs."""
+    p.add_argument("--live-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics, /progress, /healthz on "
+                        "127.0.0.1:PORT while the run is in flight "
+                        "(0 = ephemeral port; see docs/OBSERVABILITY.md)")
+    p.add_argument("--live-port-file", default=None, metavar="PATH",
+                   help="write the bound live port to PATH (for pollers "
+                        "when --live-port 0 picked an ephemeral port)")
+    p.add_argument("--live-interval", type=float, default=1.0, metavar="SECONDS",
+                   help="snapshot-bus capture interval (default: 1.0)")
+    p.add_argument("--alert", action="append", default=None, metavar="RULE",
+                   help="watchdog alert rule: stall=SECONDS, "
+                        "rank-silent=SECONDS, METRIC<FLOOR, METRIC>CEILING, "
+                        "each optionally suffixed :abort; repeatable "
+                        "(implies the live plane even without --live-port)")
+
 
 def build_parser() -> argparse.ArgumentParser:
     from .runtime.policies import POLICY_NAMES
@@ -121,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under the sampling profiler and write the "
                         "repro.obs.profile/1 document (see docs/OBSERVABILITY.md)")
     p.add_argument("--run-id", default=None, help="run identifier for logs/manifest")
+    _add_live_flags(p)
+    p.add_argument("--live-stall-after", type=int, default=None, metavar="TASKS",
+                   help="(testing) freeze the hot loop once TASKS tasks are "
+                        "done, so a watchdog stall rule can be exercised")
+    p.add_argument("--live-stall-seconds", type=float, default=5.0, metavar="S",
+                   help="(testing) how long the synthetic stall sleeps "
+                        "(default: 5.0; needs --live-stall-after)")
 
     p = sub.add_parser(
         "simbench",
@@ -155,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the BENCH run-summary JSON (throughput + "
                         "peak RSS floors) for repro compare / history")
     p.add_argument("--run-id", default=None, help="run identifier for the manifest")
+    _add_live_flags(p)
 
     p = sub.add_parser("sweep", help="run a campaign over a grid of configurations")
     p.add_argument("--n", type=int, action="append", default=None,
@@ -206,6 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-out", default=None, metavar="PATH",
                    help="run the sweep under the sampling profiler and write "
                         "the repro.obs.profile/1 document")
+    p.add_argument("--progress-every", type=float, default=10.0, metavar="SECONDS",
+                   help="seconds between completed/total progress lines "
+                        "(0 = every completion, negative = silent; default: 10)")
+    _add_live_flags(p)
 
     p = sub.add_parser("report", help="summarise a captured run")
     p.add_argument("--metrics", default=None, metavar="PATH",
@@ -320,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only list runs with this precision configuration "
                         "(e.g. FP64/FP16)")
     p.add_argument("--kind", default=None,
-                   choices=["run_summary", "bench", "profile", "stats"],
+                   choices=["run_summary", "bench", "profile", "stats", "live"],
                    help="only list runs of this document kind")
     p.add_argument("--limit", type=int, default=None, metavar="N",
                    help="show only the newest N matching runs")
@@ -368,6 +401,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", default="V100", choices=["V100", "A100", "H100"])
 
     sub.add_parser("info", help="encoded GPU specifications")
+
+    p = sub.add_parser(
+        "watch",
+        help="poll a live run's /progress endpoint and render its progress",
+    )
+    p.add_argument("url", metavar="URL",
+                   help="the run's live endpoint: http://127.0.0.1:PORT, a "
+                        "bare PORT, or a --live-port-file path")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="poll interval (default: 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print raw JSON snapshots instead of progress lines")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="give up after SECONDS without a reachable endpoint "
+                        "(default: keep trying until the run completes)")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="append every polled snapshot to PATH as JSONL")
     return parser
 
 
@@ -474,6 +526,9 @@ def _cmd_simulate(args) -> int:
             from .obs.profile import SamplingProfiler
 
             profiler = stack.enter_context(SamplingProfiler())
+        plane = _enter_live(stack, args, run_id=args.run_id)
+        if plane is not None and args.live_stall_after is not None:
+            plane.configure_stall(args.live_stall_after, args.live_stall_seconds)
         if args.replay:
             from .core import replay_cholesky
             from .runtime import StaticSchedule
@@ -565,6 +620,32 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _enter_live(stack, args, *, run_id=None):
+    """Enter a live telemetry plane when ``--live-port``/``--alert`` ask
+    for one (``--alert`` alone implies a plane so the watchdog has a bus
+    to ride); returns the plane or ``None``."""
+    port = getattr(args, "live_port", None)
+    alert_specs = getattr(args, "alert", None) or []
+    if port is None and not alert_specs:
+        return None
+    from .obs.alerts import parse_alert_arg
+    from .obs.live import live_plane
+
+    rules = [parse_alert_arg(spec) for spec in alert_specs]
+    plane = stack.enter_context(live_plane(
+        port=port,
+        interval=getattr(args, "live_interval", 1.0),
+        rules=rules,
+        run_id=run_id,
+    ))
+    if plane.url is not None:
+        print(f"live → {plane.url}", file=sys.stderr)
+    port_file = getattr(args, "live_port_file", None)
+    if port_file and plane.port is not None:
+        Path(port_file).write_text(f"{plane.port}\n", encoding="utf-8")
+    return plane
+
+
 def _peak_rss_bytes() -> int:
     """Peak resident set of this process, in bytes (0 when unavailable).
 
@@ -581,6 +662,7 @@ def _peak_rss_bytes() -> int:
 
 
 def _cmd_simbench(args) -> int:
+    import contextlib
     import time
 
     from . import obs
@@ -614,30 +696,32 @@ def _cmd_simbench(args) -> int:
     }[args.strategy]
 
     record_events = bool(args.record_events)
-    t0 = time.perf_counter()
-    if args.mode == "stream":
-        if record_events:
-            # the O(window) live-memory bound covers Task objects only;
-            # a recorded Trace still accumulates O(n_tasks) events
-            print("simbench: warning: --record-events voids the O(window) "
-                  "memory bound of --mode stream — the event trace grows "
-                  "with every task (see docs/SCHEDULING.md)",
-                  file=sys.stderr)
-        # emission is interleaved with scheduling: one timed region
-        rep = simulate_cholesky(
-            n, args.nb, kmap, platform, strategy=strategy,
-            record_events=record_events, policy=args.policy,
-            stream=True, lookahead=args.lookahead,
-        )
-        t_build_done = t0
-    else:
-        dag = build_cholesky_dag(
-            n, args.nb, kmap, strategy=strategy, grid=platform.process_grid(),
-        )
-        t_build_done = time.perf_counter()
-        rep = simulate(dag.graph, platform, args.nb,
-                       record_events=record_events, policy=args.policy)
-    t1 = time.perf_counter()
+    with contextlib.ExitStack() as stack:
+        _enter_live(stack, args, run_id=args.run_id)
+        t0 = time.perf_counter()
+        if args.mode == "stream":
+            if record_events:
+                # the O(window) live-memory bound covers Task objects only;
+                # a recorded Trace still accumulates O(n_tasks) events
+                print("simbench: warning: --record-events voids the O(window) "
+                      "memory bound of --mode stream — the event trace grows "
+                      "with every task (see docs/SCHEDULING.md)",
+                      file=sys.stderr)
+            # emission is interleaved with scheduling: one timed region
+            rep = simulate_cholesky(
+                n, args.nb, kmap, platform, strategy=strategy,
+                record_events=record_events, policy=args.policy,
+                stream=True, lookahead=args.lookahead,
+            )
+            t_build_done = t0
+        else:
+            dag = build_cholesky_dag(
+                n, args.nb, kmap, strategy=strategy, grid=platform.process_grid(),
+            )
+            t_build_done = time.perf_counter()
+            rep = simulate(dag.graph, platform, args.nb,
+                           record_events=record_events, policy=args.policy)
+        t1 = time.perf_counter()
 
     wall = t1 - t0
     n_tasks = rep.stats.n_tasks
@@ -710,9 +794,12 @@ def _cmd_sweep(args) -> int:
             from .obs.profile import SamplingProfiler
 
             profiler = stack.enter_context(SamplingProfiler())
+        _enter_live(stack, args)
         result = run_sweep(
             grid, workers=args.workers, cache_dir=args.cache_dir, force=args.force,
             retry_policy=retry_policy, fault_plan=fault_plan,
+            progress_seconds=(None if args.progress_every < 0
+                              else args.progress_every),
         )
     print(result.table())
     print(f"cache: {result.n_cache_hits}/{result.n_runs} hits "
@@ -1253,6 +1340,96 @@ def _cmd_info(_args) -> int:
     return 0
 
 
+def _watch_base_url(target: str) -> str:
+    """Normalise a watch target: URL, ``host:port``, bare port, or a
+    ``--live-port-file`` path all resolve to ``http://host:port``."""
+    target = target.strip()
+    if target.isdigit():
+        return f"http://127.0.0.1:{target}"
+    if "://" not in target:
+        path = Path(target)
+        if path.exists():
+            port = path.read_text(encoding="utf-8").strip()
+            return f"http://127.0.0.1:{port}"
+        target = f"http://{target}"
+    return target.rstrip("/")
+
+
+def _cmd_watch(args) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from .obs.live import render_progress_line
+
+    url = _watch_base_url(args.url)
+    if not url.endswith("/progress"):
+        url += "/progress"
+
+    out_fh = open(args.json_out, "a", encoding="utf-8") if args.json_out else None
+    tty = sys.stdout.isatty() and not args.json
+    deadline = (time.monotonic() + args.timeout) if args.timeout else None
+    seen_ok = False
+    last_len = 0
+
+    def endline() -> None:
+        if tty and last_len:
+            print()
+
+    try:
+        while True:
+            snap = None
+            try:
+                with urllib.request.urlopen(url, timeout=10) as resp:
+                    snap = json.loads(resp.read())
+            except (urllib.error.URLError, OSError, ValueError, json.JSONDecodeError):
+                snap = None
+            if snap is not None:
+                seen_ok = True
+                if args.timeout:
+                    deadline = time.monotonic() + args.timeout
+                if out_fh is not None:
+                    out_fh.write(json.dumps(snap, sort_keys=True) + "\n")
+                    out_fh.flush()
+                if args.json:
+                    print(json.dumps(snap, sort_keys=True))
+                else:
+                    line = render_progress_line(snap)
+                    if tty and not args.once:
+                        pad = max(0, last_len - len(line))
+                        last_len = len(line)
+                        print("\r" + line + " " * pad, end="", flush=True)
+                    else:
+                        print(line)
+                if args.once:
+                    return 0
+                if snap.get("complete"):
+                    endline()
+                    return 0
+            else:
+                if args.once:
+                    print(f"watch: endpoint unreachable: {url}", file=sys.stderr)
+                    return 1
+                if seen_ok:
+                    # the run's process went away: treat as run over
+                    endline()
+                    print(f"watch: {url} gone — run ended", file=sys.stderr)
+                    return 0
+            if deadline is not None and time.monotonic() > deadline:
+                endline()
+                print(f"watch: no response from {url} within "
+                      f"{args.timeout:g} s", file=sys.stderr)
+                return 1
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        endline()
+        return 0
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -1270,8 +1447,15 @@ def main(argv: list[str] | None = None) -> int:
         "history": _cmd_history,
         "profile": _cmd_profile,
         "merge-shards": _cmd_merge_shards,
+        "watch": _cmd_watch,
     }[args.command]
-    return handler(args)
+    from .obs.alerts import WatchdogAbort
+
+    try:
+        return handler(args)
+    except WatchdogAbort as exc:
+        print(f"{args.command}: aborted by watchdog: {exc}", file=sys.stderr)
+        return EXIT_WATCHDOG_ABORT
 
 
 if __name__ == "__main__":  # pragma: no cover

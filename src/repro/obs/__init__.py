@@ -29,13 +29,29 @@ reproduction measures itself.  Four pieces, shared by every layer:
 * **shard merge** (:mod:`repro.obs.merge`) — clock-aligned aggregation
   of distributed per-rank trace shards (``repro merge-shards``);
 * **profiler** (:mod:`repro.obs.profile`) — sampling wall-clock
-  profiler + named hot regions (``repro profile``, ``--profile-out``).
+  profiler + named hot regions (``repro profile``, ``--profile-out``);
+* **live plane** (:mod:`repro.obs.live`, :mod:`repro.obs.alerts`) —
+  in-flight progress snapshots, ``/metrics`` + ``/progress`` +
+  ``/healthz`` scrape endpoints, and declarative stall/rate/pressure
+  watchdogs (``--live-port``/``--alert``, ``repro watch``).
 
 See ``docs/OBSERVABILITY.md`` for the capture-analyze-compare workflow.
 """
 
-from . import analysis, merge, profile, regress, warehouse
+from . import alerts, analysis, live, merge, profile, regress, warehouse
+from .alerts import AlertRule, Watchdog, WatchdogAbort, parse_alert_arg
 from .analysis import analyze_path, analyze_trace, build_ledger, critical_path
+from .live import (
+    LivePlane,
+    announce_total,
+    campaign,
+    campaign_progress,
+    get_plane,
+    live_plane,
+    run_finished,
+    run_started,
+    set_live_gauge,
+)
 from .merge import MergedTrace, merge_shards, write_merged
 from .profile import SamplingProfiler, active_profiler, hot_region, write_profile
 from .regress import (
@@ -57,6 +73,7 @@ from ._runtime import (
 )
 from .events import EventLog, iter_events, read_events
 from .exporters import (
+    lint_prometheus_text,
     run_summary,
     to_prometheus_text,
     trace_to_csv,
@@ -69,26 +86,42 @@ from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry, Timer
 from .spans import Span, span, traced
 
 __all__ = [
+    "AlertRule",
     "Counter",
     "EventLog",
+    "LivePlane",
     "MergedTrace",
     "SamplingProfiler",
     "Warehouse",
+    "Watchdog",
+    "WatchdogAbort",
     "WindowedReport",
     "active_profiler",
+    "alerts",
     "analysis",
     "analyze_path",
     "analyze_trace",
+    "announce_total",
     "build_ledger",
+    "campaign",
+    "campaign_progress",
     "compare_against_window",
     "compare_docs",
     "compare_files",
     "critical_path",
+    "get_plane",
     "hot_region",
+    "lint_prometheus_text",
+    "live",
+    "live_plane",
     "merge",
     "merge_shards",
+    "parse_alert_arg",
     "profile",
     "regress",
+    "run_finished",
+    "run_started",
+    "set_live_gauge",
     "warehouse",
     "write_merged",
     "write_profile",

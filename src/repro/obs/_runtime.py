@@ -103,13 +103,20 @@ def emit_event(
     attrs: Mapping[str, object] | None = None,
     *,
     span: str | None = None,
+    severity: str | None = None,
 ) -> None:
     """Emit a structured event to the active log (no-op when none).
 
     The current span path is attached automatically unless ``span`` is
-    given explicitly.
+    given explicitly.  ``severity="alert"`` makes the log flush the
+    record to disk immediately.
     """
     log = _event_log
     if log is None:
         return
-    log.emit(type, span=span if span is not None else current_span_path(), attrs=attrs)
+    log.emit(
+        type,
+        span=span if span is not None else current_span_path(),
+        attrs=attrs,
+        severity=severity,
+    )

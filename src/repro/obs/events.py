@@ -94,8 +94,13 @@ class EventLog:
         *,
         span: str | None = None,
         attrs: Mapping[str, object] | None = None,
+        severity: str | None = None,
     ) -> None:
-        """Append one event; thread-safe, silently dropped after close."""
+        """Append one event; thread-safe, silently dropped after close.
+
+        ``severity="alert"`` flushes the sink immediately — a crash right
+        after a watchdog alert must still leave the alert on disk.
+        """
         record: dict[str, object] = {
             "run_id": self.run_id,
             "ts": round(time.monotonic() - self._t0, 9),
@@ -103,6 +108,8 @@ class EventLog:
         }
         if span is not None:
             record["span"] = span
+        if severity is not None:
+            record["severity"] = severity
         record["attrs"] = {str(k): _jsonable(v) for k, v in (attrs or {}).items()}
         with self._lock:
             if self._closed:
@@ -111,6 +118,8 @@ class EventLog:
             record["seq"] = self._seq
             self._seq += 1
             self._fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n")
+            if severity == "alert":
+                self._fh.flush()
 
     def flush(self) -> None:
         with self._lock:

@@ -12,10 +12,12 @@ from __future__ import annotations
 import csv
 import io
 import json
+import re
 from pathlib import Path
 from typing import Mapping, Sequence
 
 __all__ = [
+    "lint_prometheus_text",
     "to_prometheus_text",
     "trace_to_csv",
     "run_summary",
@@ -223,3 +225,121 @@ def to_prometheus_text(registry=None) -> str:
                 scalar = value if isinstance(value, (int, float)) else 0.0
                 lines.append(f"{base}{_prom_labels(labels)} {_prom_number(scalar)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- exposition-format lint --------------------------------------------------
+
+_PROM_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_PROM_NAME_RE})"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)"
+    r"(?: [0-9]+)?$"
+)
+_PROM_LABEL_RE = re.compile(
+    rf'\s*(?P<key>{_PROM_NAME_RE})="(?P<value>(?:[^"\\]|\\["\\n])*)"\s*(?:,|$)'
+)
+_PROM_TYPES = frozenset(
+    {"counter", "gauge", "summary", "histogram", "untyped"}
+)
+
+
+def _parse_prom_labels(body: str) -> dict[str, str] | None:
+    """Parse a `k="v",...` label body; None when it doesn't scan."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        match = _PROM_LABEL_RE.match(body, pos)
+        if match is None:
+            return None
+        labels[match.group("key")] = match.group("value")
+        pos = match.end()
+    return labels
+
+
+def lint_prometheus_text(text: str) -> list[str]:
+    """Check a text-exposition payload (version 0.0.4); returns problems.
+
+    A pure-python conformance lint for what :func:`to_prometheus_text`
+    (and the live plane's ``/metrics`` endpoint) emits: sample-line
+    syntax, label-body escaping (only ``\\\\``, ``\\"``, ``\\n`` escapes),
+    ``# TYPE`` declared before its samples and never redeclared, valid
+    metric kinds, and summaries restricted to their ``X``/``X_sum``/
+    ``X_count`` family.  An empty list means the payload is clean.
+    """
+    problems: list[str] = []
+    declared: dict[str, str] = {}  # metric family -> declared type
+    seen_samples: set[str] = set()
+
+    def family_of(name: str) -> str:
+        for base, kind in declared.items():
+            if name == base:
+                return base
+            if kind in ("summary", "histogram") and name in (
+                f"{base}_sum", f"{base}_count", f"{base}_bucket"
+            ):
+                return base
+        return name
+
+    for n, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                problems.append(f"line {n}: malformed TYPE line: {line!r}")
+                continue
+            _, _, name, kind = parts
+            if not re.fullmatch(_PROM_NAME_RE, name):
+                problems.append(f"line {n}: bad metric name in TYPE: {name!r}")
+                continue
+            if kind not in _PROM_TYPES:
+                problems.append(f"line {n}: unknown metric type {kind!r} for {name}")
+                continue
+            if name in declared:
+                problems.append(f"line {n}: duplicate TYPE declaration for {name}")
+                continue
+            if name in seen_samples:
+                problems.append(f"line {n}: TYPE for {name} after its samples")
+            declared[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not re.fullmatch(_PROM_NAME_RE, parts[2]):
+                problems.append(f"line {n}: malformed HELP line: {line!r}")
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _PROM_SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {n}: unparsable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        label_body = match.group("labels")
+        labels = _parse_prom_labels(label_body) if label_body else {}
+        if labels is None:
+            problems.append(f"line {n}: bad label escaping in {line!r}")
+            continue
+        base = family_of(name)
+        seen_samples.add(base)
+        kind = declared.get(base)
+        if kind is None:
+            problems.append(f"line {n}: sample {name} has no TYPE declaration")
+            continue
+        if kind == "summary":
+            if name == base and "quantile" in labels:
+                try:
+                    q = float(labels["quantile"])
+                except ValueError:
+                    problems.append(f"line {n}: non-numeric quantile in {line!r}")
+                    continue
+                if not 0.0 <= q <= 1.0:
+                    problems.append(f"line {n}: quantile {q} outside [0, 1]")
+            elif name not in (base, f"{base}_sum", f"{base}_count"):
+                problems.append(
+                    f"line {n}: {name} not in summary family of {base}"
+                )
+        elif name != base:
+            problems.append(f"line {n}: sample {name} has no TYPE declaration")
+    return problems

@@ -147,13 +147,18 @@ def _classify(doc: Mapping) -> str:
         return "run_summary"
     if schema.startswith("repro.obs.profile/"):
         return "profile"
+    if schema.startswith("repro.obs.live/"):
+        return "live"
+    if str(doc.get("type", "")).startswith("live."):
+        return "live"  # a watchdog alert record from an event log
     if "makespan_seconds" in doc:
         return "stats"
     if "runs" in doc and "aggregates" in doc:
         return "bench"
     raise ValueError(
         f"cannot ingest document with schema {schema!r}: expected repro.bench/1, "
-        "repro.obs.run_summary/1, repro.obs.profile/1, or a RunStats dict"
+        "repro.obs.run_summary/1, repro.obs.profile/1, repro.obs.live/1, a "
+        "live.* alert event record, or a RunStats dict"
     )
 
 
@@ -185,6 +190,32 @@ def _profile_metrics(doc: Mapping) -> dict[str, float]:
         name, seconds = region.get("name"), region.get("seconds")
         if isinstance(name, str) and isinstance(seconds, (int, float)):
             out[f"region_seconds[{name}]"] = float(seconds)
+    return out
+
+
+def _live_metrics(doc: Mapping) -> dict[str, float]:
+    """Numbers worth trending from a live snapshot or alert event record."""
+    out: dict[str, float] = {}
+    if str(doc.get("type", "")).startswith("live."):
+        attrs = doc.get("attrs") if isinstance(doc.get("attrs"), Mapping) else {}
+        value = attrs.get("value")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out["alert_value"] = float(value)
+        for key in ("done", "total", "elapsed_seconds"):
+            value = attrs.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[key] = float(value)
+        return out
+    for key in ("done", "total", "fraction", "tasks_per_second", "eta_seconds",
+                "live_tasks", "elapsed_seconds", "heartbeat_age_seconds"):
+        value = doc.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = float(value)
+    gauges = doc.get("gauges")
+    if isinstance(gauges, Mapping):
+        for name, value in gauges.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"gauge[{name}]"] = float(value)
     return out
 
 
@@ -239,6 +270,9 @@ class Warehouse:
         manifest = doc.get("manifest") if isinstance(doc.get("manifest"), Mapping) else {}
         if run_key is None:
             rid = manifest.get("run_id")
+            if not (isinstance(rid, str) and rid) and kind == "live":
+                # live snapshots and alert events carry the id top-level
+                rid = doc.get("run_id")
             run_key = rid if isinstance(rid, str) and rid else _content_key(doc)
 
         columns: dict[str, object] = {
@@ -259,6 +293,8 @@ class Warehouse:
 
         if kind == "profile":
             scopes = {"profile": _profile_metrics(doc)}
+        elif kind == "live":
+            scopes = {"live": _live_metrics(doc)}
         else:
             scopes = load_metric_scopes(doc)
 
@@ -454,7 +490,8 @@ class Warehouse:
         body = []
         for row in rows:
             scopes = self.metric_scopes(row.seq)
-            primary = scopes.get("run") or scopes.get("aggregate") or scopes.get("profile") or {}
+            primary = (scopes.get("run") or scopes.get("aggregate")
+                       or scopes.get("profile") or scopes.get("live") or {})
             makespan = primary.get("makespan_seconds")
             makespan_label = "sim s"
             if makespan is None:

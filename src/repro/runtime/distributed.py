@@ -39,13 +39,15 @@ import os
 import queue as queue_mod
 import signal
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from ..faults import FaultInjector, FaultPlan
 from ..obs import emit_event, get_registry
+from ..obs.alerts import RANK_AGE_GAUGE
+from ..obs.live import set_live_gauge
 from ..precision.emulate import quantize
 from ..precision.formats import Precision
 from ..tiles.tilematrix import TiledSymmetricMatrix
@@ -65,6 +67,9 @@ _START_METHODS = ("fork", "forkserver", "spawn")
 #: before the parent declares it dead (covers the exit-0 race where the
 #: feeder thread is still draining when the process object shows exited)
 _EXIT_GRACE = 1.0
+#: workers emit a ``rank.heartbeat`` shard event every this many tasks
+#: (the shared-memory heartbeat stamp updates on *every* task)
+_HEARTBEAT_EVENT_STRIDE = 16
 
 
 class _RollingDeadline:
@@ -100,12 +105,17 @@ class DistributedReport:
     path (the result is then the sequential executor's, bit-identical to
     a healthy distributed run); ``error`` records the failure that
     triggered it; ``dead_ranks`` the ranks the parent declared dead.
+    ``heartbeat_ages`` is the parent's last observation of each rank's
+    heartbeat age in seconds (0.0 once the rank reported its result) —
+    a *hung* rank, alive but silent, shows up here even though dead-peer
+    detection never fires for it.
     """
 
     matrix: TiledSymmetricMatrix
     degraded: bool = False
     error: str | None = None
     dead_ranks: tuple[int, ...] = ()
+    heartbeat_ages: dict[int, float] = field(default_factory=dict)
 
 
 def pick_mp_context() -> mp.context.BaseContext:
@@ -178,6 +188,7 @@ def _rank_main(
     policy: str | None = None,
     shard_dir: str | None = None,
     run_id: str | None = None,
+    heartbeats=None,
 ) -> None:
     shard = None
     try:
@@ -187,6 +198,10 @@ def _rank_main(
         inbox = inboxes[rank]
         stash: dict[tuple[int, int, int, int], np.ndarray] = {}
         n_sent = 0  # outbound payload counter for message faults
+        n_done = 0  # local task counter for heartbeat events
+        if heartbeats is not None:
+            # wall clock: shared across processes, unlike monotonic
+            heartbeats[rank] = time.time()
 
         # per-rank trace shard: every task / send / conversion this rank
         # performs, on this shard's own clock, plus its RunStats — merged
@@ -249,6 +264,15 @@ def _rank_main(
             result = quantize(_run_task(task, values), task.output_precision)
             out_key = (task.output.i, task.output.j, task.output.version)
             values[out_key] = result
+            n_done += 1
+            if heartbeats is not None:
+                heartbeats[rank] = time.time()
+            if shard is not None and n_done % _HEARTBEAT_EVENT_STRIDE == 0:
+                shard.emit(
+                    "rank.heartbeat",
+                    attrs={"rank": rank, "n_done": n_done,
+                           "wall_time": time.time()},
+                )
             if shard is not None:
                 t_done = shard.elapsed()
                 stats.add_flops(task.precision, task.flops)
@@ -342,6 +366,7 @@ def execute_numeric_distributed(
     policy: str | None = None,
     shard_dir: str | Path | None = None,
     run_id: str | None = None,
+    silent_after: float | None = None,
 ) -> TiledSymmetricMatrix | DistributedReport:
     """Execute the graph numerically across ``n_ranks`` processes.
 
@@ -368,6 +393,17 @@ def execute_numeric_distributed(
     result — crashed (non-zero exit) *or* silently gone (exit 0, e.g.
     killed mid-queue-flush) — is declared dead within
     ``_EXIT_GRACE`` seconds and the execution fails fast.
+
+    Workers stamp a shared-memory heartbeat after every task, so the
+    parent can tell a *hung* rank (alive but silent) from a slow one:
+    once a pending rank's heartbeat age exceeds ``silent_after``
+    (default ``timeout / 2``) the parent emits a
+    ``distributed.rank_silent`` obs-event at alert severity — once per
+    rank — and publishes per-rank ages as live-plane gauges
+    (``rank_heartbeat_age[<r>]``), which the ``rank-silent`` alert rule
+    watches.  Silence alone never aborts: the rolling collection
+    deadline still owns the timeout decision.  The final observed ages
+    land in :attr:`DistributedReport.heartbeat_ages`.
 
     ``fault_plan`` injects scripted failures (see :mod:`repro.faults`);
     ``degrade=True`` recovers from unrecoverable rank loss by
@@ -416,11 +452,14 @@ def execute_numeric_distributed(
     ctx = pick_mp_context()
     inboxes = [ctx.Queue() for _ in range(n_ranks)]
     results = ctx.Queue()
+    # wall-clock heartbeat stamps, one double per rank, shared memory so
+    # the parent reads them without any queue traffic
+    heartbeats = ctx.Array("d", n_ranks)
     procs = [
         ctx.Process(
             target=_rank_main,
             args=(r, graph, mat, inboxes, results, timeout, plan_dict, policy,
-                  shard_path, run_id),
+                  shard_path, run_id, heartbeats),
         )
         for r in range(n_ranks)
     ]
@@ -432,11 +471,45 @@ def execute_numeric_distributed(
     pending = set(range(n_ranks))
     deadline = _RollingDeadline(timeout)
     exit_seen: dict[int, float] = {}  # rank -> when we first saw it exited
+    silent_limit = silent_after if silent_after is not None else timeout / 2.0
+    silent_reported: set[int] = set()
+    heartbeat_ages: dict[int, float] = {}
     try:
         while pending and error is None:
             try:
                 rank, finals, err = results.get(timeout=0.2)
             except queue_mod.Empty:
+                # hung-rank visibility: a rank can be alive yet silent
+                # (deadlocked wait, delayed message) — dead-peer scans
+                # below never see it.  Surface its heartbeat age.
+                now_wall = time.time()
+                max_age = 0.0
+                for r in sorted(pending):
+                    stamp = heartbeats[r]
+                    if stamp <= 0.0:
+                        continue  # worker not started yet
+                    age = max(0.0, now_wall - stamp)
+                    heartbeat_ages[r] = age
+                    set_live_gauge(f"{RANK_AGE_GAUGE}[{r}]", age)
+                    if age > max_age:
+                        max_age = age
+                    if (
+                        age > silent_limit
+                        and r not in silent_reported
+                        and procs[r].is_alive()
+                    ):
+                        silent_reported.add(r)
+                        get_registry().counter(
+                            "distributed.rank_silent",
+                            "alive ranks whose heartbeat went stale",
+                        ).inc()
+                        emit_event(
+                            "distributed.rank_silent",
+                            {"rank": r, "age_seconds": age,
+                             "silent_after": silent_limit},
+                            severity="alert",
+                        )
+                set_live_gauge("max_rank_heartbeat_age", max_age)
                 # fail fast on peers that exited without posting a result.
                 # A rank that finished normally posts *before* exiting, so
                 # any exited-but-pending rank is dead — crashed ranks
@@ -459,10 +532,19 @@ def execute_numeric_distributed(
                     dead_ranks = tuple(dead)
                     break
                 if deadline.expired():
-                    error = f"distributed execution timed out after {timeout:g} s"
+                    ages = ", ".join(
+                        f"rank {r} hb {heartbeat_ages.get(r, 0.0):.1f}s"
+                        for r in sorted(pending)
+                    )
+                    error = (
+                        f"distributed execution timed out after {timeout:g} s"
+                        + (f" ({ages})" if ages else "")
+                    )
                     break
                 continue
             pending.discard(rank)
+            heartbeat_ages[rank] = 0.0  # reported = fresh by definition
+            set_live_gauge(f"{RANK_AGE_GAUGE}[{rank}]", 0.0)
             deadline.refresh()  # progress: `timeout` bounds each wait, not all
             if err is not None:
                 # fail fast: peers may be blocked waiting on the failed rank
@@ -498,7 +580,10 @@ def execute_numeric_distributed(
         seq = execute_numeric(graph, mat)
         emit_event("distributed.degraded", {"error": error})
         report = DistributedReport(
-            matrix=seq, degraded=True, error=error, dead_ranks=dead_ranks
+            matrix=seq, degraded=True, error=error, dead_ranks=dead_ranks,
+            heartbeat_ages=dict(heartbeat_ages),
         )
         return report if return_report else report.matrix
-    return DistributedReport(matrix=out) if return_report else out
+    if return_report:
+        return DistributedReport(matrix=out, heartbeat_ages=dict(heartbeat_ages))
+    return out

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..obs import emit_event, get_registry, traced
+from ..obs.live import BEAT_STRIDE, run_finished, run_started
 from ..obs.profile import hot_region
 from ..perfmodel.kernels import conversion_time, kernel_time
 from ..precision.formats import Precision, bytes_per_element
@@ -549,6 +550,7 @@ def _finish(
             "policy": sched.name,
         },
     )
+    run_finished(stats.n_tasks)
     return SimReport(
         makespan=makespan,
         stats=stats,
@@ -633,6 +635,7 @@ def simulate(
     done = 0
     heappop = heapq.heappop
     heappush = heapq.heappush
+    beat = run_started(n, "sim.materialized")  # None unless a live plane is up
     with hot_region("sim.ready_heap_loop"):
         while heap:
             tid = heappop(heap)[-1]
@@ -653,6 +656,8 @@ def simulate(
                     task_ready[succ] = succ_ready
                     heappush(heap, (*key_of(tasks[succ], succ_ready, sched_state), succ))
             done += 1
+            if beat is not None and not done % BEAT_STRIDE:
+                beat(done, len(heap))
 
     if done != n:
         raise RuntimeError(f"simulation deadlock: {done}/{n} tasks executed")
@@ -786,6 +791,9 @@ def simulate_stream(
         return True
 
     done = 0
+    # total is unknown for a lazy stream; simulate_cholesky pre-announces
+    # cholesky_task_count(nt) via announce_total before calling us
+    beat = run_started(None, "sim.stream")
     with hot_region("sim.ready_heap_loop"):
         while True:
             while live < lookahead and not exhausted:
@@ -819,6 +827,8 @@ def simulate_stream(
             graph.retire(tid)
             live -= 1
             done += 1
+            if beat is not None and not done % BEAT_STRIDE:
+                beat(done, live)
 
     if live != 0:
         raise RuntimeError(
@@ -885,6 +895,7 @@ def simulate_replay(
     task_start = [0.0] * n
     commit_order: list[int] = []
     done = 0
+    beat = run_started(n, "sim.replay")
     with hot_region("sim.replay_loop"):
         for tid in order:
             tid = int(tid)
@@ -909,6 +920,8 @@ def simulate_replay(
             task_end[tid] = end
             executed[tid] = True
             done += 1
+            if beat is not None and not done % BEAT_STRIDE:
+                beat(done, 0)
     if done != n:
         raise ValueError(f"replay order incomplete: {done}/{n} tasks executed")
 

@@ -35,13 +35,16 @@ events when an event log is attached.
 from __future__ import annotations
 
 import json
+import sys
 import time
+from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..obs import build_manifest, emit_event, get_registry, span
+from ..obs.live import campaign, campaign_progress
 from ..obs.profile import hot_region
 from .grid import CACHE_SCHEMA, RunSpec, SweepGrid
 
@@ -371,6 +374,72 @@ def _store_cached(cache_dir: Path, spec: RunSpec, key: str, result: dict) -> Non
     tmp.replace(path)
 
 
+class _ProgressTracker:
+    """Periodic ``completed/total`` campaign progress.
+
+    Three sinks per update: the live plane (every completion — the
+    snapshot bus and ``/progress`` see point-granular state), a
+    ``sweep.progress`` obs-event, and a stderr line — the latter two
+    rate-limited to one per ``every`` seconds (``every=0`` logs every
+    completion, ``every=None`` silences them; the live plane always
+    updates).  A campaign that runs for minutes is no longer silent.
+    """
+
+    def __init__(self, total: int, *, hits: int = 0,
+                 every: float | None = 10.0, name: str = "sweep") -> None:
+        self.total = total
+        self.hits = hits
+        self.every = every
+        self.name = name
+        self.completed_misses = 0
+        self.retries = 0
+        self.failed = 0
+        self._last_report: float | None = None
+
+    @property
+    def completed(self) -> int:
+        return self.hits + self.completed_misses
+
+    def point_done(self, envelope: dict) -> None:
+        self.completed_misses += 1
+        self.retries += max(0, int(envelope.get("attempts", 1)) - 1)
+        if not envelope.get("ok", True):
+            self.failed += 1
+        self.report()
+
+    def report(self, *, force: bool = False) -> None:
+        campaign_progress(
+            self.completed,
+            sweep_cache_hits=self.hits,
+            sweep_retries=self.retries,
+            sweep_failed=self.failed,
+        )
+        if self.every is None:
+            return
+        now = time.monotonic()
+        if not force and self._last_report is not None and (
+            now - self._last_report < self.every
+        ):
+            return
+        self._last_report = now
+        attrs = {
+            "name": self.name,
+            "completed": self.completed,
+            "total": self.total,
+            "cache_hits": self.hits,
+            "retries": self.retries,
+            "failed": self.failed,
+        }
+        emit_event("sweep.progress", attrs)
+        print(
+            f"sweep {self.name}: {self.completed}/{self.total} points "
+            f"({self.hits} cached, {self.retries} retries"
+            + (f", {self.failed} failed" if self.failed else "")
+            + ")",
+            file=sys.stderr,
+        )
+
+
 def run_sweep(
     grid: SweepGrid | Sequence[RunSpec] | Iterable[RunSpec],
     *,
@@ -380,6 +449,7 @@ def run_sweep(
     name: str | None = None,
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | dict | None = None,
+    progress_seconds: float | None = 10.0,
 ) -> SweepResult:
     """Execute a campaign: every grid point, cached, parallel, resilient.
 
@@ -392,6 +462,14 @@ def run_sweep(
     (and left uncached, so the next campaign retries it) instead of
     aborting the sweep.  ``fault_plan`` injects scripted failures into
     matching points (see :mod:`repro.faults`).
+
+    ``progress_seconds`` rate-limits ``completed/total`` progress
+    reporting (a stderr line plus a ``sweep.progress`` event, with
+    cache-hit/retry/failure counts); ``0`` reports every completion,
+    ``None`` disables the lines.  Completions also land on the live
+    plane's snapshot bus point-by-point when one is installed
+    (``--live-port``), so ``repro watch`` tracks a campaign exactly like
+    a single run.
     """
     if isinstance(grid, SweepGrid):
         specs = grid.expand()
@@ -421,7 +499,8 @@ def run_sweep(
     keys = [spec.cache_key() for spec in specs]
     results: dict[int, tuple[dict, bool]] = {}
 
-    with span("sweep.campaign", sweep=sweep_name, n_runs=len(specs), workers=workers):
+    with span("sweep.campaign", sweep=sweep_name, n_runs=len(specs), workers=workers), \
+            campaign(f"sweep:{sweep_name}", len(specs)):
         # 1. serve everything the cache already holds; dedupe the rest so
         #    each unique key runs exactly once even inside one grid
         owner: dict[str, int] = {}  # key -> index that executes it
@@ -432,6 +511,11 @@ def run_sweep(
                 hits_metric.inc()
             elif key not in owner:
                 owner[key] = idx
+        progress = _ProgressTracker(
+            len(specs), hits=len(results), every=progress_seconds,
+            name=sweep_name,
+        )
+        progress.report()  # the cache-served fraction, before any dispatch
 
         # 2. execute the misses (one simulator run per unique key), each
         #    under the retry policy and fault plan; failures are recorded,
@@ -454,10 +538,24 @@ def run_sweep(
                 if workers > 1 and len(unique) > 1:
                     from .pool import make_pool
 
+                    # submit + as_completed (not pool.map): progress is
+                    # observed at each completion, in completion order
+                    outputs: list[dict | None] = [None] * len(payloads)
                     with make_pool(min(workers, len(unique))) as pool:
-                        outputs = list(pool.map(_run_point, payloads))
+                        futures = {
+                            pool.submit(_run_point, payload): pos
+                            for pos, payload in enumerate(payloads)
+                        }
+                        for fut in as_completed(futures):
+                            pos = futures[fut]
+                            outputs[pos] = fut.result()
+                            progress.point_done(outputs[pos])
                 else:
-                    outputs = [_run_point(p) for p in payloads]
+                    outputs = []
+                    for payload in payloads:
+                        env = _run_point(payload)
+                        outputs.append(env)
+                        progress.point_done(env)
             for i, env in zip(unique, outputs):
                 attempts_spent[i] = env["attempts"]
                 retries_metric.inc(max(0, env["attempts"] - 1), op="sweep.point")
@@ -486,6 +584,7 @@ def run_sweep(
                 # that executed the same key (cached=True)
                 results[idx] = (produced[keys[idx]], owner[keys[idx]] != idx)
 
+        progress.report(force=True)  # the final completed/total line
         runs_metric.inc(len(specs))
         sweep_runs = [
             SweepRun(spec=specs[i], key=keys[i], result=results[i][0],

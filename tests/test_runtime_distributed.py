@@ -198,3 +198,58 @@ class TestDistributedFaults:
         report = execute_numeric_distributed(dag.graph, mat, 1, return_report=True)
         assert isinstance(report, DistributedReport)
         assert not report.degraded
+
+
+class TestRankHeartbeats:
+    """Hung-rank visibility: per-rank heartbeat stamps (ISSUE 9)."""
+
+    TIMEOUT = 30.0
+
+    def setup_case(self, rng):
+        mat = _mat(rng)
+        g = ProcessGrid(2, 2)
+        dag = build_cholesky_dag(96, 16, uniform_map(6, Precision.FP64), grid=g)
+        return mat, g, dag
+
+    def test_healthy_report_carries_fresh_ages(self, rng):
+        mat, g, dag = self.setup_case(rng)
+        report = execute_numeric_distributed(
+            dag.graph, mat, g.size, timeout=self.TIMEOUT, return_report=True
+        )
+        # every rank reported, so every recorded age was reset to fresh
+        assert all(age == 0.0 for age in report.heartbeat_ages.values())
+
+    def test_silent_rank_raises_alert_event(self, rng, tmp_path):
+        """A delayed message makes ranks go silent past ``silent_after``:
+        the parent must emit ``distributed.rank_silent`` at alert severity
+        while the numeric result stays bit-identical."""
+        import json
+
+        from repro.obs import event_log, get_registry
+
+        mat, g, dag = self.setup_case(rng)
+        seq = execute_numeric(dag.graph, mat.copy())
+        plan = FaultPlan(
+            (FaultSpec("delay_message", rank=0, message=0, delay_s=1.5),)
+        )
+        events_path = tmp_path / "events.jsonl"
+        before = get_registry().counter("distributed.rank_silent").value()
+        with event_log(events_path, run_id="hb"):
+            report = execute_numeric_distributed(
+                dag.graph, mat, g.size, timeout=self.TIMEOUT,
+                fault_plan=plan, silent_after=0.3, return_report=True,
+            )
+        assert report.error is None
+        assert np.array_equal(report.matrix.lower_dense(), seq.lower_dense())
+        records = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+            if line
+        ]
+        silent = [r for r in records if r["type"] == "distributed.rank_silent"]
+        assert silent, "no rank_silent event despite 1.5 s silence"
+        assert silent[0]["severity"] == "alert"
+        assert silent[0]["attrs"]["age_seconds"] > 0.3
+        assert get_registry().counter("distributed.rank_silent").value() > before
+        # stale ages were observed at some point during the run
+        assert report.heartbeat_ages

@@ -213,3 +213,51 @@ class TestPolicyAxis:
         )
         table = result.table()
         assert "policy" in table and "critical-path" in table
+
+
+class TestSweepProgress:
+    """Periodic completed/total progress from run_sweep (ISSUE 9)."""
+
+    def grid(self):
+        axes = dict(n=1024, nb=256, config=["FP64", "FP64/FP16"], strategy=["auto", "ttc"])
+        return SweepGrid.from_axes(**axes)
+
+    def test_progress_lines_on_stderr(self, tmp_path, capsys):
+        run_sweep(self.grid(), cache_dir=tmp_path, progress_seconds=0)
+        err = capsys.readouterr().err
+        lines = [ln for ln in err.splitlines() if "points" in ln]
+        assert lines, f"no progress lines in stderr: {err!r}"
+        assert any("4/4 points" in ln for ln in lines)
+        # rerun: all four points served from cache, reported up front
+        run_sweep(self.grid(), cache_dir=tmp_path, progress_seconds=0)
+        err = capsys.readouterr().err
+        assert any("4 cached" in ln for ln in err.splitlines())
+
+    def test_silent_when_disabled(self, tmp_path, capsys):
+        run_sweep(self.grid(), cache_dir=tmp_path, progress_seconds=None)
+        assert "points" not in capsys.readouterr().err
+
+    def test_progress_events_and_campaign_gauges(self, tmp_path):
+        import json
+
+        from repro.obs import event_log
+        from repro.obs.live import LivePlane
+
+        plane = LivePlane(interval=30.0)
+        from repro.obs.live import install_plane
+
+        events_path = tmp_path / "events.jsonl"
+        previous = install_plane(plane)
+        try:
+            with event_log(events_path, run_id="sp"):
+                run_sweep(self.grid(), cache_dir=tmp_path / "c",
+                          progress_seconds=0, name="prog")
+            snap = plane.progress.snapshot()
+        finally:
+            install_plane(previous)
+        assert snap["done"] == 4 and snap["total"] == 4
+        assert snap["complete"]
+        assert snap["gauges"]["sweep_cache_hits"] == 0
+        records = [json.loads(ln) for ln in events_path.read_text().splitlines() if ln]
+        progress = [r for r in records if r["type"] == "sweep.progress"]
+        assert progress and progress[-1]["attrs"]["completed"] == 4
