@@ -74,16 +74,33 @@ def app_kernel_map(
     samples_per_tile: int = 64,
     formats=ADAPTIVE_FORMATS,
     seed: int = 0,
+    locations: np.ndarray | None = None,
+    ordering: str | None = "morton",
 ) -> KernelPrecisionMap:
     """Kernel-precision map of one application at matrix size ``n``.
 
-    Locations are generated synthetically (Morton-ordered), tile norms
-    estimated by sampling, and the Higham–Mary rule applied at the
-    application's required accuracy — the Fig. 7 pipeline.
+    Locations are generated synthetically (or passed via ``locations``,
+    e.g. from a dataplane manifest), spatially sorted per ``ordering``
+    (``morton``/``hilbert``/``random``; ``None`` keeps the given order),
+    tile norms estimated by sampling, and the Higham–Mary rule applied
+    at the application's required accuracy — the Fig. 7 pipeline.  The
+    default (synthetic, Morton) reproduces the original behaviour
+    bit-for-bit.
     """
     if isinstance(app, str):
         app = get_app(app)
-    locs = generate_locations(n, app.model.dim, seed=seed)
+    if locations is None:
+        locs = generate_locations(n, app.model.dim, seed=seed, sort=False)
+    else:
+        locs = np.asarray(locations, dtype=np.float64)
+        if locs.shape != (n, app.model.dim):
+            raise ValueError(
+                f"locations must be ({n}, {app.model.dim}), got {locs.shape}"
+            )
+    if ordering is not None:
+        from ..geostats.dataplane.hilbert import order_locations
+
+        locs = order_locations(locs, ordering, seed=seed)
     oracle = app.model.entry_oracle(locs, app.theta)
     rng = np.random.default_rng(seed + 1)
     norms = sampled_tile_norms(n, nb, oracle, samples_per_tile=samples_per_tile, rng=rng)

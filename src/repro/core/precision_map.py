@@ -84,6 +84,30 @@ class KernelPrecisionMap:
                 out[prec] = count / total
         return out
 
+    def count_below(self, threshold: Precision) -> int:
+        """Lower-triangle tiles whose kernel precision is below ``threshold``.
+
+        ``count_below(Precision.FP32)`` counts the FP16-class tiles —
+        the "low precision" population the ordering experiments compare
+        (spatially coherent orderings push more tiles under the
+        Higham–Mary bound).
+        """
+        il, jl = np.tril_indices(self.nt)
+        return int(np.sum(self.codes[il, jl] < int(threshold)))
+
+    def fp64_band_width(self) -> int:
+        """Width of the FP64 band: max |i − j| + 1 over FP64 tiles.
+
+        For the banded maps spatial ordering produces, this is the
+        number of tile diagonals pinned to FP64 (1 = diagonal only);
+        random orderings degenerate to the full width NT.
+        """
+        fp64 = self.codes == int(Precision.FP64)
+        i, j = np.nonzero(fp64)
+        if i.size == 0:
+            return 0
+        return int(np.max(np.abs(i - j))) + 1
+
     def flop_weighted_fractions(self) -> dict[Precision, float]:
         """Fraction of trailing-update GEMM flops per precision.
 

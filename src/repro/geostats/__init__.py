@@ -1,5 +1,6 @@
 """Geospatial statistics layer (ExaGeoStat-like application driver)."""
 
+from . import dataplane
 from .covariance import (
     CovarianceModel,
     Matern,
@@ -40,6 +41,7 @@ __all__ = [
     "build_tiled_covariance",
     "TrendModel",
     "cross_distances",
+    "dataplane",
     "detrend",
     "default_tile_size",
     "empirical_variogram",

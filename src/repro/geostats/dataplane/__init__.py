@@ -1,0 +1,85 @@
+"""Geospatial data plane: columnar ingest, Hilbert ordering, partitioned streaming.
+
+The input side of the pipeline (docs/DATAPLANE.md): point sets on disk
+(Parquet when pyarrow exists, self-describing NPZ always), Hilbert-curve
+spatial ordering so tile blocks hold neighbouring locations, and spatial
+partitioners whose manifests drive per-rank streaming ingest in the
+distributed executor.
+"""
+
+from .format import (
+    POINTSET_SCHEMA,
+    PointSet,
+    dataset_from_pointset,
+    parquet_available,
+    pointset_from_dataset,
+    read_pointset,
+    read_pointset_csv,
+    resolve_format,
+    stream_pointset,
+    synthesize_pointset,
+    write_pointset,
+)
+from .hilbert import (
+    ORDERINGS,
+    check_spatial_order,
+    hilbert_decode,
+    hilbert_encode,
+    hilbert_order,
+    nn_index_distance,
+    order_indices,
+    order_locations,
+)
+from .ingest import (
+    RankIngest,
+    ingest_tiled_covariance,
+    load_row_blocks,
+    permute_dataset,
+    rank_partition_plan,
+    reorder_dataset,
+    reorder_pointset,
+)
+from .partition import (
+    MANIFEST_SCHEMA,
+    grid_partition,
+    kdtree_partition,
+    load_manifest,
+    read_partition,
+    validate_manifest,
+    write_partitions,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "ORDERINGS",
+    "POINTSET_SCHEMA",
+    "PointSet",
+    "RankIngest",
+    "check_spatial_order",
+    "dataset_from_pointset",
+    "grid_partition",
+    "hilbert_decode",
+    "hilbert_encode",
+    "hilbert_order",
+    "ingest_tiled_covariance",
+    "kdtree_partition",
+    "load_manifest",
+    "load_row_blocks",
+    "nn_index_distance",
+    "order_indices",
+    "order_locations",
+    "parquet_available",
+    "permute_dataset",
+    "pointset_from_dataset",
+    "rank_partition_plan",
+    "read_partition",
+    "read_pointset",
+    "read_pointset_csv",
+    "reorder_dataset",
+    "reorder_pointset",
+    "resolve_format",
+    "stream_pointset",
+    "synthesize_pointset",
+    "validate_manifest",
+    "write_partitions",
+]

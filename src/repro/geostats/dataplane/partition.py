@@ -1,0 +1,211 @@
+"""Spatial partitioners and the ``repro.dataplane/1`` manifest.
+
+A partitioned dataset is a directory of per-partition point-set files
+plus ``manifest.json``.  Each partition file carries its points' global
+row indices, so a consumer can reconstruct any row range without
+reading the whole dataset — that is what lets the distributed executor
+stream only the partitions whose rows intersect a rank's 2D
+block-cyclic tile footprint (:mod:`repro.geostats.dataplane.ingest`).
+
+Two partitioners:
+
+* **kd-tree** — recursive median split on the widest axis until leaves
+  hold ≤ ``max_points``; leaves are contiguous index ranges when the
+  input is already space-filling ordered;
+* **grid** — fixed cells, ``cells_per_dim`` per axis, emitted in
+  Hilbert order of the cell coordinates so partition files themselves
+  are spatially coherent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from .format import PointSet, read_pointset, resolve_format, write_pointset
+from .hilbert import hilbert_encode
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "grid_partition",
+    "kdtree_partition",
+    "load_manifest",
+    "read_partition",
+    "validate_manifest",
+    "write_partitions",
+]
+
+MANIFEST_SCHEMA = "repro.dataplane/1"
+
+MANIFEST_NAME = "manifest.json"
+
+
+def kdtree_partition(coords: np.ndarray, max_points: int) -> list[np.ndarray]:
+    """Recursive median split on the widest axis; leaves ≤ ``max_points``.
+
+    Returns index arrays in in-order traversal, which is itself a
+    coarse space-filling order.  Deterministic (median by argsort,
+    stable).
+    """
+    locs = np.asarray(coords, dtype=np.float64)
+    if locs.ndim != 2:
+        raise ValueError("coords must be (n, dim)")
+    if max_points <= 0:
+        raise ValueError("max_points must be positive")
+    out: list[np.ndarray] = []
+
+    def split(idx: np.ndarray) -> None:
+        if idx.size <= max_points:
+            out.append(idx)
+            return
+        sub = locs[idx]
+        axis = int(np.argmax(sub.max(axis=0) - sub.min(axis=0)))
+        order = np.argsort(sub[:, axis], kind="stable")
+        half = idx.size // 2
+        split(idx[order[:half]])
+        split(idx[order[half:]])
+
+    split(np.arange(locs.shape[0]))
+    return out
+
+
+def grid_partition(coords: np.ndarray, cells_per_dim: int) -> list[np.ndarray]:
+    """Fixed-cell binning; non-empty cells emitted in Hilbert cell order."""
+    locs = np.asarray(coords, dtype=np.float64)
+    if locs.ndim != 2:
+        raise ValueError("coords must be (n, dim)")
+    if cells_per_dim <= 0:
+        raise ValueError("cells_per_dim must be positive")
+    n, dim = locs.shape
+    if n == 0:
+        return []
+    lo = locs.min(axis=0)
+    hi = locs.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    cell = np.clip(
+        ((locs - lo) / span * cells_per_dim).astype(np.int64), 0, cells_per_dim - 1
+    )
+    bits = max(1, int(cells_per_dim - 1).bit_length())
+    code = hilbert_encode(cell.astype(np.uint64), bits)
+    parts: list[np.ndarray] = []
+    for c in np.unique(code):
+        parts.append(np.nonzero(code == c)[0])
+    return parts
+
+
+def write_partitions(
+    ps: PointSet,
+    parts: list[np.ndarray],
+    out_dir: str,
+    *,
+    scheme: str,
+    ordering: str = "unknown",
+    ordering_score: float | None = None,
+    format: str | None = None,
+) -> dict:
+    """Write per-partition files plus ``manifest.json``; returns the manifest.
+
+    Partition files carry global row indices, so the split is lossless
+    whatever the index structure of each partition.
+    """
+    fmt = resolve_format(format)
+    os.makedirs(out_dir, exist_ok=True)
+    entries = []
+    base_rows = ps.rows if ps.rows is not None else np.arange(ps.n, dtype=np.int64)
+    for pid, idx in enumerate(parts):
+        idx = np.asarray(idx)
+        sub = ps.take(idx)
+        sub.rows = base_rows[idx]
+        name = f"part-{pid:05d}"
+        written = write_pointset(os.path.join(out_dir, name), sub, format=fmt)
+        row_min = int(sub.rows.min()) if sub.n else 0
+        row_max = int(sub.rows.max()) if sub.n else -1
+        lo, hi = sub.bbox()
+        entries.append(
+            {
+                "id": pid,
+                "path": os.path.basename(written),
+                "n_points": int(sub.n),
+                "row_min": row_min,
+                "row_max": row_max,
+                "contiguous": bool(sub.n == 0 or row_max - row_min + 1 == sub.n),
+                "bbox": [lo, hi],
+            }
+        )
+    lo, hi = ps.bbox()
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "n_points": int(ps.n),
+        "dim": int(ps.dim),
+        "format": fmt,
+        "scheme": scheme,
+        "ordering": ordering,
+        "ordering_score": None if ordering_score is None else float(ordering_score),
+        "crs": ps.crs,
+        "coord_dtype": str(ps.coords.dtype),
+        "bbox": [lo, hi],
+        "partitions": entries,
+    }
+    with open(os.path.join(out_dir, MANIFEST_NAME), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    return manifest
+
+
+def load_manifest(path: str) -> dict:
+    """Load ``manifest.json`` from a partition directory (or direct path)."""
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    with open(path) as fh:
+        manifest = json.load(fh)
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {MANIFEST_SCHEMA}, found {manifest.get('schema')!r}"
+        )
+    return manifest
+
+
+def validate_manifest(manifest: dict, base_dir: str | None = None) -> None:
+    """Check internal consistency; raises ValueError on the first defect.
+
+    Totals must reconcile: per-partition counts sum to ``n_points``, row
+    ranges stay in bounds, and (when ``base_dir`` is given) each file
+    exists and holds exactly the rows the manifest claims.
+    """
+    total = sum(p["n_points"] for p in manifest["partitions"])
+    if total != manifest["n_points"]:
+        raise ValueError(
+            f"manifest reconciliation failed: partitions sum to {total}, "
+            f"n_points says {manifest['n_points']}"
+        )
+    n = manifest["n_points"]
+    for part in manifest["partitions"]:
+        if part["n_points"] and not (0 <= part["row_min"] <= part["row_max"] < n):
+            raise ValueError(
+                f"partition {part['id']}: row range [{part['row_min']}, "
+                f"{part['row_max']}] outside dataset of {n} rows"
+            )
+    if base_dir is None:
+        return
+    seen = np.zeros(n, dtype=bool)
+    for part in manifest["partitions"]:
+        ps = read_partition(base_dir, part)
+        if ps.n != part["n_points"]:
+            raise ValueError(
+                f"partition {part['id']}: file holds {ps.n} points, "
+                f"manifest says {part['n_points']}"
+            )
+        if ps.rows is None:
+            raise ValueError(f"partition {part['id']}: file lacks row indices")
+        if np.any(seen[ps.rows]):
+            raise ValueError(f"partition {part['id']}: overlapping rows")
+        seen[ps.rows] = True
+    if not np.all(seen):
+        missing = int(np.sum(~seen))
+        raise ValueError(f"partitioning lost {missing} rows")
+
+
+def read_partition(base_dir: str, part: dict) -> PointSet:
+    """Read one manifest partition entry."""
+    return read_pointset(os.path.join(base_dir, part["path"]))

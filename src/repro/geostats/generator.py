@@ -25,6 +25,21 @@ from .locations import generate_locations
 __all__ = ["Dataset", "SyntheticField", "build_tiled_covariance"]
 
 
+def _finite_float(arr, name: str) -> np.ndarray:
+    """Floating array with NaN/inf rejected; float32/float64 preserved.
+
+    A NaN coordinate silently poisons every distance involving its row;
+    better to fail at construction with a message naming the field.
+    """
+    out = np.asarray(arr)
+    if out.dtype not in (np.float32, np.float64):
+        out = out.astype(np.float64)
+    if out.size and not np.all(np.isfinite(out)):
+        bad = int(np.sum(~np.isfinite(out)))
+        raise ValueError(f"{name} contain {bad} non-finite entries (NaN/inf)")
+    return out
+
+
 @dataclass
 class Dataset:
     """Observed (or synthetic) spatial data: locations plus measurements.
@@ -45,8 +60,8 @@ class Dataset:
     nugget: float = 0.0
 
     def __post_init__(self) -> None:
-        self.locations = np.asarray(self.locations, dtype=np.float64)
-        self.z = np.asarray(self.z, dtype=np.float64).ravel()
+        self.locations = _finite_float(self.locations, "locations")
+        self.z = _finite_float(self.z, "measurements").ravel()
         if self.locations.ndim != 2:
             raise ValueError("locations must be (n, dim)")
         if self.locations.shape[0] != self.z.shape[0]:

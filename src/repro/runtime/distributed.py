@@ -135,15 +135,48 @@ def pick_mp_context() -> mp.context.BaseContext:
     )
 
 
-def _seed_values(graph: TaskGraph, mat: TiledSymmetricMatrix, rank: int) -> dict:
+def _seed_values(
+    graph: TaskGraph,
+    mat: TiledSymmetricMatrix,
+    rank: int,
+    ingest=None,
+) -> dict:
     """Version-0 tiles needed by this rank's tasks, at storage precision.
 
     One vectorised quantisation pass per storage precision (see
-    :func:`repro.runtime.executor._seed_version0`).
+    :func:`repro.runtime.executor._seed_version0`).  With ``ingest`` (a
+    :class:`repro.geostats.dataplane.RankIngest`), the raw FP64 tiles
+    are *built in-process* from the partitions covering this rank's tile
+    footprint — per-rank streaming ingest, where the parent never ships
+    tile payloads — then quantised to the same storage precisions, so
+    results are bit-identical to the mat-seeded path.
     """
-    from .executor import _seed_version0
+    from ..precision.emulate import quantize_batch
 
-    return _seed_version0(graph, mat, rank)
+    if ingest is None:
+        from .executor import _seed_version0
+
+        return _seed_version0(graph, mat, rank)
+
+    wanted: dict[tuple[int, int, int], object] = {}
+    for task in graph:
+        if task.rank != rank:
+            continue
+        for inp in task.inputs:
+            if inp.producer is None:
+                key = (inp.tile.i, inp.tile.j, inp.tile.version)
+                if key not in wanted:
+                    wanted[key] = inp.storage_precision
+    raw = ingest.build_tiles(sorted({(i, j) for i, j, _v in wanted}))
+    by_precision: dict[object, list[tuple[int, int, int]]] = {}
+    for key, prec in wanted.items():
+        by_precision.setdefault(prec, []).append(key)
+    values: dict[tuple[int, int, int], np.ndarray] = {}
+    for prec, keys in by_precision.items():
+        tiles = quantize_batch([raw[(i, j)] for i, j, _v in keys], prec)
+        for key, tile in zip(keys, tiles):
+            values[key] = tile
+    return values
 
 
 def _consumer_plan(graph: TaskGraph) -> dict[int, list[tuple[int, Precision]]]:
@@ -189,11 +222,12 @@ def _rank_main(
     shard_dir: str | None = None,
     run_id: str | None = None,
     heartbeats=None,
+    ingest=None,
 ) -> None:
     shard = None
     try:
         injector = FaultInjector(fault_plan)
-        values = _seed_values(graph, mat, rank)
+        values = _seed_values(graph, mat, rank, ingest)
         plan = _consumer_plan(graph)
         inbox = inboxes[rank]
         stash: dict[tuple[int, int, int, int], np.ndarray] = {}
@@ -367,8 +401,16 @@ def execute_numeric_distributed(
     shard_dir: str | Path | None = None,
     run_id: str | None = None,
     silent_after: float | None = None,
+    ingest=None,
 ) -> TiledSymmetricMatrix | DistributedReport:
     """Execute the graph numerically across ``n_ranks`` processes.
+
+    ``ingest`` (a :class:`repro.geostats.dataplane.RankIngest`) switches
+    version-0 seeding from parent-shipped tiles to per-rank streaming:
+    each worker reads only the dataplane partitions its 2D block-cyclic
+    tile footprint touches and evaluates the covariance kernel locally.
+    Results are bit-identical to seeding from ``mat`` when the manifest
+    describes the same ordered locations.
 
     ``policy`` (a scheduling-policy name; see
     :mod:`repro.runtime.policies`) reorders each rank's local execution
@@ -459,7 +501,7 @@ def execute_numeric_distributed(
         ctx.Process(
             target=_rank_main,
             args=(r, graph, mat, inboxes, results, timeout, plan_dict, policy,
-                  shard_path, run_id, heartbeats),
+                  shard_path, run_id, heartbeats, ingest),
         )
         for r in range(n_ranks)
     ]

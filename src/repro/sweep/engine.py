@@ -57,6 +57,16 @@ TABLE_COLUMNS = (
 )
 
 
+def _count_fp64(kmap) -> int:
+    """Lower-triangle tiles whose kernel runs in FP64."""
+    import numpy as np
+
+    from ..precision import Precision
+
+    il, jl = np.tril_indices(kmap.nt)
+    return int(np.sum(kmap.codes[il, jl] == int(Precision.FP64)))
+
+
 def execute_spec(spec_dict: dict) -> dict:
     """Price one sweep point; module-level so worker processes can pickle it.
 
@@ -81,15 +91,27 @@ def execute_spec(spec_dict: dict) -> dict:
     platform = Platform(node=node, n_nodes=spec.n_nodes)
 
     t0 = time.perf_counter()
+    ordering_score: float | None = None
     if spec.config == "adaptive":
         from dataclasses import replace
 
         from ..bench.apps import app_kernel_map, get_app
+        from ..geostats.dataplane.hilbert import check_spatial_order, order_locations
+        from ..geostats.locations import generate_locations
 
         app = get_app(spec.app)
         if spec.accuracy is not None:
             app = replace(app, accuracy=spec.accuracy)
-        kmap = app_kernel_map(app, spec.n, spec.nb, samples_per_tile=32, seed=spec.seed)
+        locs = generate_locations(spec.n, app.model.dim, seed=spec.seed, sort=False)
+        locs = order_locations(locs, spec.ordering, seed=spec.seed)
+        ordering_score = check_spatial_order(locs)
+        get_registry().gauge(
+            "dataplane.ordering_score", "consecutive/random pair distance ratio"
+        ).set(ordering_score, ordering=spec.ordering)
+        kmap = app_kernel_map(
+            app, spec.n, spec.nb, samples_per_tile=32, seed=spec.seed,
+            locations=locs, ordering=None,
+        )
     else:
         kmap = {
             "FP64": lambda nt: uniform_map(nt, Precision.FP64),
@@ -119,6 +141,11 @@ def execute_spec(spec_dict: dict) -> dict:
         tile_fractions={p.name: f for p, f in sorted(kmap.tile_fractions().items(), reverse=True)},
         plan_seconds=plan_seconds,
         sim_seconds=sim_seconds,
+        ordering=spec.ordering,
+        ordering_score=ordering_score,
+        n_low_precision_tiles=kmap.count_below(Precision.FP32),
+        n_fp64_tiles=_count_fp64(kmap),
+        fp64_band_width=kmap.fp64_band_width(),
     )
     return result
 
@@ -183,6 +210,8 @@ class SweepRun:
         """One row of the aggregated results table."""
         plat = f"{self.spec.n_nodes}x{self.spec.gpus_per_node}x{self.spec.gpu}"
         cfg = self.spec.config if self.spec.config != "adaptive" else f"adaptive({self.spec.app})"
+        if self.spec.ordering != "morton":
+            cfg += f" ord={self.spec.ordering}"
         head = (cfg, self.spec.strategy, self.spec.policy, self.spec.n, self.spec.nb, plat)
         if self.failed:
             return head + ("-", "-", "-", "-", "-", "miss", "yes")

@@ -23,17 +23,23 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Iterator, Mapping
 
-__all__ = ["RunSpec", "SweepGrid", "KERNEL_CONFIGS"]
+__all__ = ["RunSpec", "SweepGrid", "KERNEL_CONFIGS", "ORDERINGS"]
 
 #: schema version folded into every cache key — bump when the result
 #: JSON layout or the simulation semantics change incompatibly
 #: (3: per-precision d2h/nic byte splits + conversion-site attribution;
-#:  4: scheduling policy becomes a spec field and sweep axis)
-CACHE_SCHEMA = 4
+#:  4: scheduling policy becomes a spec field and sweep axis;
+#:  5: spatial ordering becomes a spec field and sweep axis, adaptive
+#:     results gain ordering/precision-map structure metrics)
+CACHE_SCHEMA = 5
 
 #: supported kernel-precision configurations; "adaptive" builds the map
 #: from sampled tile norms of the named application at ``accuracy``
 KERNEL_CONFIGS = ("FP64", "FP32", "FP64/FP16_32", "FP64/FP16", "adaptive")
+
+#: spatial orderings applied to the application's locations before the
+#: precision map is sampled (see repro.geostats.dataplane)
+ORDERINGS = ("morton", "random", "hilbert")
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,7 @@ class RunSpec:
     accuracy: float | None = None
     seed: int = 0
     policy: str = "panel-first"
+    ordering: str = "morton"
     enforce_memory: bool = True
 
     def __post_init__(self) -> None:
@@ -73,6 +80,10 @@ class RunSpec:
             raise ValueError("gpus_per_node and n_nodes must be positive")
         if self.policy not in POLICY_NAMES:
             raise ValueError(f"unknown policy {self.policy!r}; expected one of {POLICY_NAMES}")
+        if self.ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {self.ordering!r}; expected one of {ORDERINGS}"
+            )
 
     @property
     def nt(self) -> int:
@@ -85,6 +96,8 @@ class RunSpec:
         base = f"{cfg}/{self.strategy} n={self.n} nb={self.nb} {plat}"
         if self.policy != "panel-first":
             base += f" [{self.policy}]"
+        if self.ordering != "morton":
+            base += f" ord={self.ordering}"
         return base
 
     def to_dict(self) -> dict:
@@ -112,8 +125,8 @@ class SweepGrid:
 
     Axes with a single value may be given as scalars; expansion order is
     the documented field order (n, nb, config, strategy, gpu,
-    gpus_per_node, n_nodes, app, accuracy, seed, policy), which keeps
-    run numbering deterministic.
+    gpus_per_node, n_nodes, app, accuracy, seed, policy, ordering),
+    which keeps run numbering deterministic.
     """
 
     n: tuple[int, ...] = (4096,)
@@ -127,6 +140,7 @@ class SweepGrid:
     accuracy: tuple[float | None, ...] = (None,)
     seed: tuple[int, ...] = (0,)
     policy: tuple[str, ...] = ("panel-first",)
+    ordering: tuple[str, ...] = ("morton",)
     enforce_memory: bool = True
     name: str = "sweep"
     extra: Mapping[str, object] = field(default_factory=dict)
@@ -158,6 +172,7 @@ class SweepGrid:
             "accuracy": list(self.accuracy),
             "seed": list(self.seed),
             "policy": list(self.policy),
+            "ordering": list(self.ordering),
             "enforce_memory": self.enforce_memory,
         }
 
@@ -165,7 +180,7 @@ class SweepGrid:
         size = 1
         for axis in (self.n, self.nb, self.config, self.strategy, self.gpu,
                      self.gpus_per_node, self.n_nodes, self.app, self.accuracy,
-                     self.seed, self.policy):
+                     self.seed, self.policy, self.ordering):
             size *= len(axis)
         return size
 
@@ -174,10 +189,10 @@ class SweepGrid:
 
     def __iter__(self) -> Iterator[RunSpec]:
         for (n, nb, config, strategy, gpu, gpn, nodes, app, accuracy, seed,
-             policy) in itertools.product(
+             policy, ordering) in itertools.product(
                 self.n, self.nb, self.config, self.strategy, self.gpu,
                 self.gpus_per_node, self.n_nodes, self.app, self.accuracy,
-                self.seed, self.policy,
+                self.seed, self.policy, self.ordering,
         ):
             yield RunSpec(
                 n=n,
@@ -191,5 +206,6 @@ class SweepGrid:
                 accuracy=accuracy,
                 seed=seed,
                 policy=policy,
+                ordering=ordering,
                 enforce_memory=self.enforce_memory,
             )

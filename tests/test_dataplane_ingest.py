@@ -1,0 +1,158 @@
+"""Partition-driven ingest: streaming assembly, per-rank seeding, and the
+16×16 reference ordering experiment (ISSUE 10 acceptance criteria)."""
+
+import numpy as np
+import pytest
+
+from repro.geostats import build_tiled_covariance, dataplane as dp
+from repro.geostats.covariance import get_model
+from repro.geostats.locations import generate_locations
+from repro.tiles.distribution import ProcessGrid
+
+THETA = (1.0, 0.1, 0.5)
+
+
+def _partition_dir(tmp_path, n=256, nb=32, seed=3, scheme="kdtree"):
+    rng = np.random.default_rng(seed)
+    coords = generate_locations(n, 2, seed=seed, sort=False)
+    ps = dp.PointSet(coords=coords, values=rng.standard_normal(n))
+    ordered, _perm, score = dp.reorder_pointset(ps, "hilbert")
+    parts = (dp.kdtree_partition(ordered.coords, 64) if scheme == "kdtree"
+             else dp.grid_partition(ordered.coords, 4))
+    out = str(tmp_path / "parts")
+    manifest = dp.write_partitions(ordered, parts, out, scheme=scheme,
+                                   ordering="hilbert", ordering_score=score,
+                                   format="npz")
+    return out, manifest, ordered
+
+
+def test_ingest_tiled_covariance_bit_identical(tmp_path):
+    out, _manifest, ordered = _partition_dir(tmp_path)
+    model = get_model("2d-matern")
+    streamed = dp.ingest_tiled_covariance(out, "2d-matern", THETA, 32)
+    direct = build_tiled_covariance(ordered.coords, model, THETA, 32)
+    assert streamed.nt == direct.nt
+    for i in range(direct.nt):
+        for j in range(i + 1):
+            assert streamed.get(i, j).tobytes() == direct.get(i, j).tobytes()
+
+
+def test_rank_ingest_tiles_match_direct(tmp_path):
+    out, _manifest, ordered = _partition_dir(tmp_path, scheme="grid")
+    model = get_model("2d-matern")
+    direct = build_tiled_covariance(ordered.coords, model, THETA, 32)
+    grid = ProcessGrid(2, 2)
+    ingest = dp.RankIngest(out, "2d-matern", THETA, 32)
+    assert ingest.matrix_n() == 256
+    for rank in range(grid.size):
+        tiles = grid.tiles_owned(rank, direct.nt)
+        built = ingest.build_tiles(tiles)
+        assert set(built) == set(tiles)
+        for (i, j), tile in built.items():
+            assert tile.tobytes() == direct.get(i, j).tobytes()
+
+
+def test_rank_partition_plan_covers_rank_footprint(tmp_path):
+    out, manifest, _ordered = _partition_dir(tmp_path)
+    grid = ProcessGrid(2, 2)
+    plan = dp.rank_partition_plan(manifest, grid, 256, 32)
+    assert set(plan) == {0, 1, 2, 3}
+    known = {p["id"] for p in manifest["partitions"]}
+    for ids in plan.values():
+        assert ids and set(ids) <= known
+
+
+def test_load_row_blocks_detects_missing_rows(tmp_path):
+    out, manifest, _ordered = _partition_dir(tmp_path)
+    # ask beyond the dataset: rows [256, 288) exist in no partition
+    with pytest.raises(ValueError, match="missing"):
+        dp.load_row_blocks(out, {0: (250, 288)}, manifest=manifest)
+
+
+def test_distributed_ingest_bit_identical_to_mat_seeding(tmp_path):
+    """Per-rank streaming ingest produces the same factor, bit for bit,
+    as shipping tiles from the parent matrix."""
+    from repro.core import build_cholesky_dag, build_precision_map
+    from repro.runtime.distributed import execute_numeric_distributed
+    from repro.tiles.norms import tile_norms
+
+    n, nb = 192, 48
+    out, _manifest, ordered = _partition_dir(tmp_path, n=n)
+    model = get_model("2d-matern")
+    mat = build_tiled_covariance(ordered.coords, model, THETA, nb)
+    # SPD lift so the Cholesky is well-posed at this tiny scale
+    for i in range(mat.nt):
+        d = mat.get(i, i)
+        mat.set(i, i, d + 0.5 * np.eye(d.shape[0]), precision=mat.precision_of(i, i))
+    kmap = build_precision_map(tile_norms(mat), 1e-9)
+    grid = ProcessGrid(1, 2)
+    dag = build_cholesky_dag(n, nb, kmap, grid=grid)
+
+    baseline = execute_numeric_distributed(dag.graph, mat, grid.size)
+
+    # the ingest recipe's nugget reproduces the diagonal lift exactly
+    ingest = dp.RankIngest(out, "2d-matern", THETA, nb, nugget=0.5)
+    streamed = execute_numeric_distributed(dag.graph, mat, grid.size, ingest=ingest)
+
+    for i in range(mat.nt):
+        for j in range(i + 1):
+            assert streamed.get(i, j).tobytes() == baseline.get(i, j).tobytes()
+
+
+# -- the 16×16 reference ordering experiment ------------------------------
+
+
+@pytest.mark.slow
+def test_reference_config_hilbert_beats_random():
+    """On the 16×16 reference config (n=1024, nb=64, 2d-matern adaptive),
+    Hilbert ordering must yield ≥ as many low-precision tiles as random
+    and move ≤ as many bytes (the repro-analyze ledger total)."""
+    from repro.bench.apps import app_kernel_map
+    from repro.core import simulate_cholesky
+    from repro.obs.analysis import build_ledger
+    from repro.perfmodel import GPU_BY_NAME, NodeSpec
+    from repro.precision import Precision
+    from repro.runtime import Platform
+
+    n, nb = 1024, 64
+    locs = generate_locations(n, 2, seed=0, sort=False)
+    node = NodeSpec("test", GPU_BY_NAME["V100"], 1, 256e9, 25e9, 1.5e-6)
+    platform = Platform(node=node, n_nodes=1)
+
+    results = {}
+    for ordering in ("random", "hilbert"):
+        ordered = dp.order_locations(locs, ordering, seed=0)
+        kmap = app_kernel_map("2d-matern", n, nb, samples_per_tile=32,
+                              seed=0, locations=ordered, ordering=None)
+        report = simulate_cholesky(n, nb, kmap, platform, record_events=True)
+        ledger = build_ledger(report.trace.events, stats=report.stats)
+        results[ordering] = {
+            "low": kmap.count_below(Precision.FP32),
+            "band": kmap.fp64_band_width(),
+            "bytes": ledger.total_bytes,
+        }
+
+    assert results["hilbert"]["low"] >= results["random"]["low"]
+    assert results["hilbert"]["band"] <= results["random"]["band"]
+    assert results["hilbert"]["bytes"] <= results["random"]["bytes"]
+    # and the effect is real, not a tie
+    assert results["hilbert"]["low"] > results["random"]["low"]
+    assert results["hilbert"]["bytes"] < results["random"]["bytes"]
+
+
+def test_sweep_ordering_axis_round_trip():
+    """The ordering axis flows grid → spec → cache key → result dict."""
+    from repro.sweep import SweepGrid
+    from repro.sweep.engine import execute_spec
+
+    grid = SweepGrid.from_axes(n=256, nb=64, config="adaptive",
+                               app="2d-matern", ordering=["random", "hilbert"])
+    specs = grid.expand()
+    assert [s.ordering for s in specs] == ["random", "hilbert"]
+    assert specs[0].cache_key() != specs[1].cache_key()
+    assert "ord=hilbert" in specs[1].label
+    res = execute_spec(specs[1].to_dict())
+    assert res["ordering"] == "hilbert"
+    assert 0.0 < res["ordering_score"] < 0.5
+    assert res["n_low_precision_tiles"] >= 0
+    assert res["fp64_band_width"] >= 1
